@@ -1,0 +1,434 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/iosim"
+	"repro/internal/jpegc"
+	"repro/internal/kvstore"
+	"repro/internal/loader"
+	"repro/internal/nn"
+	"repro/internal/recordio"
+	"repro/internal/synth"
+	"repro/internal/train"
+)
+
+// benchConfig builds a small-scale experiment config writing to io.Discard.
+// Each Benchmark* below regenerates one paper artifact end to end; run
+// `cmd/experiments` for the full-scale, human-readable output.
+func benchConfig() *experiments.Config {
+	cfg := experiments.NewConfig(io.Discard)
+	cfg.Scale = 0.2
+	cfg.Epochs = 8
+	return cfg
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure -----------------------------------
+
+func BenchmarkTable1DatasetStats(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkFig4TimeToAccuracy(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig5HAMTimeToAccuracy(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6CarsTasks(b *testing.B)           { benchExperiment(b, "fig6") }
+func BenchmarkFig7MSSIMRegression(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8AdaptiveTuning(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9LoadingRates(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig11StallTrace(b *testing.B)         { benchExperiment(b, "fig11") }
+func BenchmarkFig12SizeHistogram(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFig14Roofline(b *testing.B)           { benchExperiment(b, "fig14") }
+func BenchmarkFig15EncodingTimes(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkFig16ScanSizes(b *testing.B)          { benchExperiment(b, "fig16") }
+func BenchmarkFig17MSSIMPerScan(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18ReaderMicrobench(b *testing.B)   { benchExperiment(b, "fig18") }
+func BenchmarkFig19GradientCosine(b *testing.B)     { benchExperiment(b, "fig19") }
+func BenchmarkFig20CosineTuningHAM(b *testing.B)    { benchExperiment(b, "fig20") }
+func BenchmarkFig21CosineTuningCelebA(b *testing.B) { benchExperiment(b, "fig21") }
+func BenchmarkFig23to26Grids(b *testing.B)          { benchExperiment(b, "grids") }
+func BenchmarkFig27to28AccVsEpoch(b *testing.B)     { benchExperiment(b, "epochs") }
+func BenchmarkFig29to30CarsShuffleNet(b *testing.B) { benchExperiment(b, "cars") }
+func BenchmarkFig31ExampleScanSizes(b *testing.B)   { benchExperiment(b, "fig31") }
+func BenchmarkAppA4SpaceAmplification(b *testing.B) { benchExperiment(b, "spaceamp") }
+func BenchmarkAppA5DecodeOverhead(b *testing.B)     { benchExperiment(b, "decodecost") }
+func BenchmarkSec5CachePressure(b *testing.B)       { benchExperiment(b, "cachepressure") }
+
+// --- Codec kernels (the §A.5 microbenchmark substance) ----------------------
+
+func benchImages(b *testing.B, n int) [][]byte {
+	b.Helper()
+	p := synth.Cars
+	p.NumImages = 2 * n // 80/20 split: ensure at least n train images
+	p.ImageSize = 64
+	ds, err := synth.Generate(p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ds.Train) < n {
+		b.Fatalf("only %d train images", len(ds.Train))
+	}
+	var out [][]byte
+	for _, s := range ds.Train[:n] {
+		data, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: 84})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+func BenchmarkDecodeBaseline(b *testing.B) {
+	imgs := benchImages(b, 8)
+	var total int64
+	for _, d := range imgs {
+		total += int64(len(d))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range imgs {
+			if _, err := jpegc.Decode(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDecodeProgressive(b *testing.B) {
+	imgs := benchImages(b, 8)
+	var prog [][]byte
+	var total int64
+	for _, d := range imgs {
+		p, err := jpegc.Transcode(d, &jpegc.Options{Progressive: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog = append(prog, p)
+		total += int64(len(p))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range prog {
+			if _, err := jpegc.Decode(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTranscodeToProgressive(b *testing.B) {
+	imgs := benchImages(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range imgs {
+			if _, err := jpegc.Transcode(d, &jpegc.Options{Progressive: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPCRRecordWrite(b *testing.B) {
+	imgs := benchImages(b, 16)
+	samples := make([]core.Sample, len(imgs))
+	for i, d := range imgs {
+		samples[i] = core.Sample{ID: int64(i), Label: int64(i % 4), JPEG: d}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := core.WriteRecord(&buf, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCRSampleReassembly(b *testing.B) {
+	imgs := benchImages(b, 16)
+	samples := make([]core.Sample, len(imgs))
+	for i, d := range imgs {
+		samples[i] = core.Sample{ID: int64(i), JPEG: d}
+	}
+	var buf bytes.Buffer
+	meta, err := core.WriteRecord(&buf, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := range meta.Samples {
+			if _, err := meta.SampleJPEG(data, s, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ------------------------------------------------
+
+// BenchmarkAblationLayout compares the PCR scan-group layout against
+// per-image progressive files for an "entire dataset at scan group 2" read
+// on a simulated HDD: PCR reads one sequential prefix per record; the
+// file-per-image layout pays a seek per image.
+func BenchmarkAblationLayout(b *testing.B) {
+	p := synth.Cars
+	p.NumImages = 64
+	p.ImageSize = 64
+	ds, err := synth.Generate(p, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := train.BuildPCRSet(ds, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rbPCR, err := set.RecordBytesAtGroup(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := set.SampleGroupLens()
+
+	b.Run("pcr-scan-groups", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dev := iosim.NewDevice(iosim.HDD7200)
+			var t float64
+			for _, rb := range rbPCR {
+				t = dev.Read(rb, t)
+			}
+			b.ReportMetric(t*1e3, "simms/epoch")
+		}
+	})
+	b.Run("file-per-image", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dev := iosim.NewDevice(iosim.HDD7200)
+			var t float64
+			for _, s := range sizes {
+				// A per-image progressive file still needs its header plus
+				// scans 1-2, but every image is its own random read.
+				t = dev.Read(s.HeaderLen+s.GroupLens[0]+s.GroupLens[1], t)
+			}
+			b.ReportMetric(t*1e3, "simms/epoch")
+		}
+	})
+}
+
+// BenchmarkAblationHuffman measures what per-scan Huffman optimization buys
+// in bytes: spec-default tables vs optimized tables on baseline streams.
+func BenchmarkAblationHuffman(b *testing.B) {
+	p := synth.Cars
+	p.NumImages = 8
+	p.ImageSize = 64
+	ds, err := synth.Generate(p, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts *jpegc.Options
+	}{
+		{"default-tables", &jpegc.Options{Quality: 84}},
+		{"optimized-tables", &jpegc.Options{Quality: 84, OptimizeHuffman: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var bytesOut int64
+			for i := 0; i < b.N; i++ {
+				bytesOut = 0
+				for _, s := range ds.Train {
+					data, err := jpegc.Encode(s.Img, mode.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bytesOut += int64(len(data))
+				}
+			}
+			b.ReportMetric(float64(bytesOut)/float64(len(ds.Train)), "bytes/img")
+		})
+	}
+}
+
+// BenchmarkAblationRecordSize sweeps images-per-record: bigger records
+// amortize seeks but coarsen the shuffle granularity.
+func BenchmarkAblationRecordSize(b *testing.B) {
+	const images = 256
+	const bytesPerImage = 100e3
+	for _, perRecord := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("rec%d", perRecord), func(b *testing.B) {
+			n := images / perRecord
+			rb := make([]int64, n)
+			ipr := make([]int, n)
+			for i := range rb {
+				rb[i] = int64(perRecord * bytesPerImage)
+				ipr[i] = perRecord
+			}
+			for i := 0; i < b.N; i++ {
+				cluster, err := iosim.NewCluster(iosim.HDD7200, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := loader.ReadOnlyRate(loader.Config{
+					Cluster: cluster, Threads: 4,
+					RecordBytes: rb, ImagesPerRecord: ipr,
+					Passes: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ImagesPerSec, "img/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMetadata compares the kvstore metadata database against a
+// flat in-memory rebuild for record-index lookups.
+func BenchmarkAblationMetadata(b *testing.B) {
+	dir := b.TempDir()
+	store, err := kvstore.Open(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	const n = 512
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("record/%05d", i))
+		val := make([]byte, 128)
+		if err := store.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	flat := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		flat[fmt.Sprintf("record/%05d", i)] = make([]byte, 128)
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	b.Run("kvstore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			key := []byte(fmt.Sprintf("record/%05d", rng.Intn(n)))
+			if _, err := store.Get(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flat-map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			key := fmt.Sprintf("record/%05d", rng.Intn(n))
+			if flat[key] == nil {
+				b.Fatal("missing")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCache compares a PCR-aware prefix cache (delta upgrades)
+// against a conventional whole-record cache when a training job alternates
+// scan groups: the PCR cache fetches only upgrade deltas.
+func BenchmarkAblationCache(b *testing.B) {
+	const records = 64
+	prefixes := map[int]int64{2: 20e3, 5: 60e3, 10: 100e3}
+	fetchBytes := int64(0)
+	fetch := func(record int, offset, length int64) ([]byte, error) {
+		fetchBytes += length
+		return make([]byte, length), nil
+	}
+	b.Run("pcr-prefix-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fetchBytes = 0
+			c, err := cache.New(records*prefixes[10]*2, fetch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, g := range []int{2, 5, 10, 2} {
+				for r := 0; r < records; r++ {
+					if _, err := c.Get(r, prefixes[g]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(fetchBytes)/1e6, "MB-fetched")
+		}
+	})
+	b.Run("whole-record-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fetchBytes = 0
+			cached := map[int]bool{}
+			for _, g := range []int{2, 5, 10, 2} {
+				for r := 0; r < records; r++ {
+					// A conventional cache keyed on full records must
+					// refetch whenever the stored quality differs.
+					if !cached[r] || g == 10 {
+						fetchBytes += prefixes[g]
+						cached[r] = g == 10
+					}
+				}
+			}
+			b.ReportMetric(float64(fetchBytes)/1e6, "MB-fetched")
+		}
+	})
+}
+
+// BenchmarkTFRecordFraming measures the baseline record format's framing
+// throughput for context alongside the PCR writer.
+func BenchmarkTFRecordFraming(b *testing.B) {
+	payload := make([]byte, 100<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := recordio.NewWriter(&buf)
+		if err := w.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := recordio.NewReader(&buf).Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLPEpoch measures the SGD substrate's step rate.
+func BenchmarkMLPEpoch(b *testing.B) {
+	m, err := nn.ResNetLike.Build(train.FeatureLen, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	batch := nn.Batch{}
+	for i := 0; i < 32; i++ {
+		x := make([]float64, train.FeatureLen)
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		batch.X = append(batch.X, x)
+		batch.Y = append(batch.Y, i%10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _, _, err := m.Gradient(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Step(g, 0.01, 0.9)
+	}
+}

@@ -1,0 +1,242 @@
+// Command pcr creates, inspects, and decodes Progressive Compressed Record
+// datasets on disk.
+//
+// Usage:
+//
+//	pcr synth   -dataset cars -out DIR [-scale 0.5] [-seed 42] [-per-record 32] [-baseline DIR]
+//	pcr encode  -from DIR -out DIR [-per-record 32]
+//	pcr inspect -dataset DIR
+//	pcr decode  -dataset DIR -record N -group G -out DIR
+//
+// `synth` generates one of the paper's synthetic dataset profiles and
+// encodes it as a PCR dataset (optionally also writing the File-per-Image
+// baseline layout). `encode` converts an existing File-per-Image layout of
+// JPEGs into PCR form — the jpegtran-and-rearrange role of the paper's
+// encoder. `inspect` prints the record index and scan-group sizes.
+// `decode` materializes a record's images at a scan group as PNG files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/png"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/jpegc"
+	"repro/internal/recordio"
+	"repro/internal/synth"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "synth":
+		err = cmdSynth(os.Args[2:])
+	case "encode":
+		err = cmdEncode(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "decode":
+		err = cmdDecode(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcr:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pcr <synth|encode|inspect|decode> [flags]
+  synth   -dataset NAME -out DIR [-scale F] [-seed N] [-per-record N] [-baseline DIR]
+  encode  -from DIR -out DIR [-per-record N]
+  inspect -dataset DIR
+  decode  -dataset DIR -record N -group G -out DIR`)
+}
+
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	name := fs.String("dataset", "cars", "profile: imagenet, celebahq, ham10000, cars")
+	out := fs.String("out", "", "output PCR dataset directory")
+	scale := fs.Float64("scale", 1.0, "dataset size multiplier")
+	seed := fs.Int64("seed", 42, "generation seed")
+	perRecord := fs.Int("per-record", 32, "images per record")
+	baseline := fs.String("baseline", "", "also write a File-per-Image baseline layout here")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("synth: -out is required")
+	}
+	profile, err := synth.ProfileByName(*name)
+	if err != nil {
+		return err
+	}
+	ds, err := synth.Generate(profile.Scaled(*scale), *seed)
+	if err != nil {
+		return err
+	}
+	w, err := core.CreateDataset(*out, &core.DatasetOptions{ImagesPerRecord: *perRecord})
+	if err != nil {
+		return err
+	}
+	var fpi *recordio.FilePerImage
+	if *baseline != "" {
+		fpi, err = recordio.CreateFilePerImage(*baseline)
+		if err != nil {
+			return err
+		}
+	}
+	for _, s := range ds.Train {
+		data, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: profile.JPEGQuality, Subsample420: true})
+		if err != nil {
+			return err
+		}
+		if err := w.Append(core.Sample{ID: int64(s.ID), Label: int64(s.Label), JPEG: data}); err != nil {
+			return err
+		}
+		if fpi != nil {
+			if err := fpi.Put(int64(s.ID), int64(s.Label), data); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if fpi != nil {
+		if err := fpi.WriteManifest(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d train images of %s to %s\n", len(ds.Train), profile.Name, *out)
+	return nil
+}
+
+func cmdEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	from := fs.String("from", "", "File-per-Image source directory")
+	out := fs.String("out", "", "output PCR dataset directory")
+	perRecord := fs.Int("per-record", 32, "images per record")
+	fs.Parse(args)
+	if *from == "" || *out == "" {
+		return fmt.Errorf("encode: -from and -out are required")
+	}
+	src, err := recordio.OpenFilePerImage(*from)
+	if err != nil {
+		return err
+	}
+	entries, err := src.List()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("encode: no images under %s", *from)
+	}
+	w, err := core.CreateDataset(*out, &core.DatasetOptions{ImagesPerRecord: *perRecord})
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		data, err := src.Get(e)
+		if err != nil {
+			return err
+		}
+		if err := w.Append(core.Sample{ID: e.ID, Label: e.Label, JPEG: data}); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d images into PCR dataset %s\n", len(entries), *out)
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	dir := fs.String("dataset", "", "PCR dataset directory")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("inspect: -dataset is required")
+	}
+	ds, err := core.OpenDataset(*dir)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+	fmt.Printf("dataset: %s\n  records: %d\n  images:  %d\n  scan groups: %d\n",
+		*dir, ds.NumRecords(), ds.NumImages(), ds.NumGroups)
+	fmt.Printf("%8s %8s %12s  %s\n", "record", "images", "full bytes", "prefix bytes by scan group")
+	for i := 0; i < ds.NumRecords(); i++ {
+		n, err := ds.RecordSamples(i)
+		if err != nil {
+			return err
+		}
+		full, err := ds.RecordPrefixLen(i, ds.NumGroups)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %8d %12d  ", i, n, full)
+		for g := 1; g <= ds.NumGroups; g++ {
+			p, err := ds.RecordPrefixLen(i, g)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d:%d ", g, p)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdDecode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	dir := fs.String("dataset", "", "PCR dataset directory")
+	record := fs.Int("record", 0, "record index")
+	group := fs.Int("group", 1, "scan group to read")
+	out := fs.String("out", "", "output directory for PNG files")
+	fs.Parse(args)
+	if *dir == "" || *out == "" {
+		return fmt.Errorf("decode: -dataset and -out are required")
+	}
+	ds, err := core.OpenDataset(*dir)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+	samples, err := ds.ReadRecordAt(*record, *group)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	bytesRead, err := ds.RecordPrefixLen(*record, *group)
+	if err != nil {
+		return err
+	}
+	for _, s := range samples {
+		path := filepath.Join(*out, fmt.Sprintf("img-%06d-label%d-scan%d.png", s.ID, s.Label, *group))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := png.Encode(f, s.Img); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("decoded %d images from record %d at scan group %d (%d bytes read) into %s\n",
+		len(samples), *record, *group, bytesRead, *out)
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command pcrbench is the reader microbenchmark of §A.5 run against a real
+// on-disk PCR dataset: N goroutines read record prefixes at a scan group,
+// optionally decoding every image, and the tool reports images/second and
+// effective bandwidth per scan group (the measured side of Figure 18).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	dir := flag.String("dataset", "", "PCR dataset directory")
+	threads := flag.Int("threads", 8, "reader goroutines")
+	passes := flag.Int("passes", 3, "passes over the dataset per scan group")
+	decode := flag.Bool("decode", false, "also decode every image")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "pcrbench: -dataset is required")
+		os.Exit(2)
+	}
+	if err := run(*dir, *threads, *passes, *decode); err != nil {
+		fmt.Fprintln(os.Stderr, "pcrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, threads, passes int, decode bool) error {
+	ds, err := core.OpenDataset(dir)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+	fmt.Printf("dataset %s: %d records, %d images, %d scan groups; %d threads, decode=%v\n",
+		dir, ds.NumRecords(), ds.NumImages(), ds.NumGroups, threads, decode)
+	fmt.Printf("%5s %12s %14s %12s\n", "scan", "images/s", "bandwidth", "elapsed")
+
+	for g := 1; g <= ds.NumGroups; g++ {
+		var images, bytes int64
+		work := make(chan int, ds.NumRecords()*passes)
+		for p := 0; p < passes; p++ {
+			for r := 0; r < ds.NumRecords(); r++ {
+				work <- r
+			}
+		}
+		close(work)
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, threads)
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := range work {
+					prefix, meta, err := ds.ReadRecordPrefix(r, g)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					atomic.AddInt64(&bytes, int64(len(prefix)))
+					if decode {
+						for i := range meta.Samples {
+							if _, err := meta.DecodeSample(prefix, i, minInt(g, meta.NumGroups)); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}
+					atomic.AddInt64(&images, int64(len(meta.Samples)))
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%5d %12.0f %11.1f MB/s %12v\n",
+			g,
+			float64(images)/elapsed.Seconds(),
+			float64(bytes)/elapsed.Seconds()/1e6,
+			elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+// Command pcrtrain runs one training configuration of the reproduction
+// harness: a synthetic dataset, a model profile, a task granularity, and a
+// scan group (or dynamic tuning), printing the per-epoch curve.
+//
+//	pcrtrain -dataset cars -model shufflenetlike -task multiclass -group 2
+//	pcrtrain -dataset ham10000 -model resnetlike -dynamic cosine
+//	pcrtrain -dataset cars -task binary -group 1 -epochs 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/autotune"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/train"
+)
+
+func main() {
+	dataset := flag.String("dataset", "cars", "imagenet, celebahq, ham10000, cars")
+	model := flag.String("model", "shufflenetlike", "resnetlike or shufflenetlike")
+	taskName := flag.String("task", "multiclass", "multiclass, make-only, binary")
+	group := flag.Int("group", 0, "scan group (0 = baseline/full quality)")
+	dynamic := flag.String("dynamic", "", "dynamic tuning: cosine or plateau (overrides -group)")
+	mix := flag.Float64("mix", 0, "mixture weight for dynamic tuning (0 = hard selection)")
+	epochs := flag.Int("epochs", 24, "epoch budget")
+	scale := flag.Float64("scale", 0.5, "dataset size multiplier")
+	seed := flag.Int64("seed", 42, "seed")
+	flag.Parse()
+	if err := run(*dataset, *model, *taskName, *group, *dynamic, *mix, *epochs, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pcrtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, model, taskName string, group int, dynamic string, mix float64, epochs int, scale float64, seed int64) error {
+	profile, err := synth.ProfileByName(dataset)
+	if err != nil {
+		return err
+	}
+	mp, err := nn.ProfileByName(model)
+	if err != nil {
+		return err
+	}
+	ds, err := synth.Generate(profile.Scaled(scale), seed)
+	if err != nil {
+		return err
+	}
+	set, err := train.BuildPCRSet(ds, 16)
+	if err != nil {
+		return err
+	}
+
+	var task synth.Task
+	switch taskName {
+	case "multiclass":
+		task = synth.Multiclass(profile)
+	case "make-only":
+		task = synth.CoarseOnly(profile)
+	case "binary":
+		task, err = synth.Binary(profile, 0)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown task %q", taskName)
+	}
+
+	fmt.Printf("dataset=%s (%d train / %d test, %d records, %d scan groups)\n",
+		profile.Name, set.NumTrain(), set.NumTest(), set.NumRecords(), set.NumGroups)
+	fmt.Printf("model=%s task=%s (%d classes) epochs=%d\n\n", mp.Name, task.Name, task.NumClasses, epochs)
+
+	if dynamic != "" {
+		var ctrl autotune.Controller
+		switch dynamic {
+		case "cosine":
+			ctrl = &autotune.CosineController{Threshold: 0.9, TuneEvery: epochs / 4, WarmupEpochs: 3}
+		case "plateau":
+			ctrl = &autotune.PlateauController{Window: 3, MinImprove: 0.08, ProbeSteps: 6}
+		default:
+			return fmt.Errorf("unknown controller %q", dynamic)
+		}
+		res, err := autotune.Run(set, autotune.Config{
+			Model: mp, Task: task, Controller: ctrl,
+			Epochs: epochs, Seed: seed, MixWeight: mix,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6s %10s %10s %8s %10s %6s\n", "epoch", "time", "loss", "acc", "img/s", "group")
+		for _, p := range res.Points {
+			acc := "-"
+			if p.Sampled {
+				acc = fmt.Sprintf("%.1f%%", p.TestAcc*100)
+			}
+			fmt.Printf("%6d %9.2fs %10.4f %8s %10.0f %6d\n",
+				p.Epoch, p.TimeSec, p.TrainLoss, acc, p.ImagesPerSec, p.Group)
+		}
+		fmt.Printf("\nfinal accuracy %.1f%% in %.2fs (%d group switches)\n",
+			res.FinalAcc*100, res.TotalTimeSec, res.GroupSwitches)
+		return nil
+	}
+
+	g := group
+	if g <= 0 || g > set.NumGroups {
+		g = set.NumGroups
+	}
+	res, err := train.Run(set, train.RunConfig{
+		Model: mp, Task: task, ScanGroup: g, Epochs: epochs, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %10s %10s %8s %10s %10s\n", "epoch", "time", "loss", "acc", "img/s", "stall")
+	for _, p := range res.Points {
+		acc := "-"
+		if p.Sampled {
+			acc = fmt.Sprintf("%.1f%%", p.TestAcc*100)
+		}
+		fmt.Printf("%6d %9.2fs %10.4f %8s %10.0f %9.3fs\n",
+			p.Epoch, p.TimeSec, p.TrainLoss, acc, p.ImagesPerSec, p.StallSec)
+	}
+	fmt.Printf("\nscan group %d: final accuracy %.1f%% in %.2fs (%d bytes/epoch)\n",
+		g, res.FinalAcc*100, res.TotalTimeSec, res.BytesPerEpoch)
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Progressive
+// Compressed Records: Taking a Byte out of Deep Learning Data" (Kuchnik,
+// Amvrosiadis, Smith — VLDB 2021). See README.md for the architecture and
+// DESIGN.md for the system inventory and per-experiment index.
+//
+// The root package holds only the benchmark harness (bench_test.go): one
+// benchmark per paper table/figure plus ablation benchmarks for the design
+// choices called out in DESIGN.md. The library lives under internal/ and the
+// executables under cmd/.
+package repro

@@ -1,0 +1,66 @@
+// Multitask: one PCR dataset serving three tasks of different difficulty
+// (the paper's Cars experiment, §4.3). The same stored bytes are read at
+// different scan groups per task: the fine-grained task needs late scans,
+// the binary task trains fine from scan group 1.
+//
+//	go run ./examples/multitask
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/train"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	profile := synth.Cars.Scaled(0.5)
+	ds, err := synth.Generate(profile, 7)
+	if err != nil {
+		return err
+	}
+	set, err := train.BuildPCRSet(ds, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("one PCR dataset: %d train images, %d records, %d scan groups\n\n",
+		set.NumTrain(), set.NumRecords(), set.NumGroups)
+
+	binary, err := synth.Binary(profile, 0)
+	if err != nil {
+		return err
+	}
+	tasks := []synth.Task{synth.Multiclass(profile), synth.CoarseOnly(profile), binary}
+
+	fmt.Printf("%-12s %8s | final top-1 accuracy by scan group\n", "task", "classes")
+	fmt.Printf("%-12s %8s | %9s %9s %9s %9s\n", "", "", "scan 1", "scan 2", "scan 5", "baseline")
+	for _, task := range tasks {
+		fmt.Printf("%-12s %8d |", task.Name, task.NumClasses)
+		for _, g := range []int{1, 2, 5, set.NumGroups} {
+			res, err := train.Run(set, train.RunConfig{
+				Model:     nn.ResNetLike,
+				Task:      task,
+				ScanGroup: g,
+				Epochs:    20,
+				Seed:      1,
+				EvalEvery: 4,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %8.1f%%", res.FinalAcc*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nthe accuracy gap between scan 1 and baseline closes as the task coarsens —")
+	fmt.Println("one PCR encoding serves all three tasks at their optimal quality.")
+	return nil
+}

@@ -1,0 +1,97 @@
+// Quickstart: create a PCR dataset on disk, read it back at several scan
+// groups, and show the byte-vs-quality trade-off.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/jpegc"
+	"repro/internal/mssim"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "pcr-quickstart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	dataset := filepath.Join(dir, "cars-pcr")
+
+	// 1. Generate a small synthetic Stanford-Cars-like dataset and encode
+	//    it into PCR records: baseline JPEG in, scan-grouped records out.
+	profile := synth.Cars.Scaled(0.25)
+	ds, err := synth.Generate(profile, 1)
+	if err != nil {
+		return err
+	}
+	w, err := core.CreateDataset(dataset, &core.DatasetOptions{ImagesPerRecord: 16})
+	if err != nil {
+		return err
+	}
+	for _, s := range ds.Train {
+		jpg, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: profile.JPEGQuality, Subsample420: true})
+		if err != nil {
+			return err
+		}
+		if err := w.Append(core.Sample{ID: int64(s.ID), Label: int64(s.Label), JPEG: jpg}); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d images into %s\n\n", len(ds.Train), dataset)
+
+	// 2. Open it and read record 0 at increasing scan groups. Each read is
+	//    one sequential prefix; more scan groups = more bytes = higher
+	//    quality.
+	pcr, err := core.OpenDataset(dataset)
+	if err != nil {
+		return err
+	}
+	defer pcr.Close()
+	fmt.Printf("dataset: %d records, %d images, %d scan groups\n\n",
+		pcr.NumRecords(), pcr.NumImages(), pcr.NumGroups)
+
+	full, err := pcr.ReadRecordAt(0, pcr.NumGroups)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %14s %14s %10s\n", "scan", "bytes read", "of full", "MSSIM")
+	for _, g := range []int{1, 2, 5, pcr.NumGroups} {
+		n, err := pcr.RecordPrefixLen(0, g)
+		if err != nil {
+			return err
+		}
+		fullLen, err := pcr.RecordPrefixLen(0, pcr.NumGroups)
+		if err != nil {
+			return err
+		}
+		samples, err := pcr.ReadRecordAt(0, g)
+		if err != nil {
+			return err
+		}
+		// Quality of the first image vs its full-quality self.
+		sim, err := mssim.MSSIM(samples[0].Img, full[0].Img)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d %14d %13.1f%% %10.4f\n", g, n, 100*float64(n)/float64(fullLen), sim)
+	}
+	fmt.Println("\nreading a prefix of each record file yields every image at that quality —")
+	fmt.Println("no duplication, no random I/O, same total bytes as plain JPEG records.")
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package cache implements a PCR-aware record cache. The paper observes
+// that PCRs "can reduce cache pressure since a subset of the data is used
+// for training" (§5): a record cached at scan group g occupies only the
+// prefix bytes of group g, and — because every quality level is a prefix of
+// the same byte stream — a later request for a higher group can be served
+// by fetching only the missing delta bytes and appending them to the cached
+// prefix. Conventional record formats can do neither: their cache entries
+// are all-or-nothing.
+//
+// The cache is an LRU over record prefixes with byte-budget eviction.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Fetcher reads a byte range of a record from backing storage. It is the
+// integration point for both real files (os.File.ReadAt) and the iosim
+// virtual-clock devices.
+type Fetcher func(record int, offset, length int64) ([]byte, error)
+
+// Stats counts cache activity.
+type Stats struct {
+	// Hits are requests fully served from cache.
+	Hits int64
+	// UpgradeHits are requests served by a delta read: the cached prefix
+	// plus only the missing bytes.
+	UpgradeHits int64
+	// Misses are requests with no usable cached prefix.
+	Misses int64
+	// BytesFetched counts bytes read from backing storage.
+	BytesFetched int64
+	// BytesServed counts bytes returned to callers.
+	BytesServed int64
+	// Evictions counts evicted entries.
+	Evictions int64
+}
+
+type entry struct {
+	record int
+	prefix []byte
+	elem   *list.Element
+}
+
+// Cache is a byte-budgeted LRU of PCR record prefixes.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[int]*entry
+	lru      *list.List // front = most recent; values are record ids
+	fetch    Fetcher
+	stats    Stats
+}
+
+// New builds a cache with the given byte capacity over the fetcher.
+func New(capacity int64, fetch Fetcher) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: non-positive capacity %d", capacity)
+	}
+	if fetch == nil {
+		return nil, fmt.Errorf("cache: nil fetcher")
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[int]*entry),
+		lru:      list.New(),
+		fetch:    fetch,
+	}, nil
+}
+
+// Get returns the first prefixLen bytes of the record, reading from the
+// backing store only the bytes the cache does not already hold. The
+// returned slice must not be modified.
+func (c *Cache) Get(record int, prefixLen int64) ([]byte, error) {
+	if prefixLen < 0 {
+		return nil, fmt.Errorf("cache: negative prefix length")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	e, ok := c.entries[record]
+	switch {
+	case ok && int64(len(e.prefix)) >= prefixLen:
+		// Full hit: the cached prefix covers the request.
+		c.stats.Hits++
+		c.lru.MoveToFront(e.elem)
+		c.stats.BytesServed += prefixLen
+		return e.prefix[:prefixLen:prefixLen], nil
+
+	case ok:
+		// Upgrade: fetch only the delta beyond the cached prefix.
+		have := int64(len(e.prefix))
+		delta, err := c.fetch(record, have, prefixLen-have)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(delta)) != prefixLen-have {
+			return nil, fmt.Errorf("cache: fetcher returned %d bytes, want %d", len(delta), prefixLen-have)
+		}
+		c.stats.UpgradeHits++
+		c.stats.BytesFetched += int64(len(delta))
+		c.used += int64(len(delta))
+		e.prefix = append(e.prefix, delta...)
+		c.lru.MoveToFront(e.elem)
+		c.evictLocked(record)
+		c.stats.BytesServed += prefixLen
+		return e.prefix[:prefixLen:prefixLen], nil
+
+	default:
+		data, err := c.fetch(record, 0, prefixLen)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) != prefixLen {
+			return nil, fmt.Errorf("cache: fetcher returned %d bytes, want %d", len(data), prefixLen)
+		}
+		c.stats.Misses++
+		c.stats.BytesFetched += prefixLen
+		e := &entry{record: record, prefix: data}
+		e.elem = c.lru.PushFront(record)
+		c.entries[record] = e
+		c.used += prefixLen
+		c.evictLocked(record)
+		c.stats.BytesServed += prefixLen
+		return e.prefix, nil
+	}
+}
+
+// evictLocked drops least-recently-used entries until the budget holds,
+// never evicting the protected record (the one just served).
+func (c *Cache) evictLocked(protect int) {
+	for c.used > c.capacity && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		rec := back.Value.(int)
+		if rec == protect {
+			// The protected entry is LRU-last only when it is the sole
+			// entry bigger than the budget; stop rather than evict it.
+			return
+		}
+		e := c.entries[rec]
+		c.used -= int64(len(e.prefix))
+		delete(c.entries, rec)
+		c.lru.Remove(back)
+		c.stats.Evictions++
+	}
+}
+
+// Contains reports whether the cache holds at least prefixLen bytes of the
+// record (without touching recency).
+func (c *Cache) Contains(record int, prefixLen int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[record]
+	return ok && int64(len(e.prefix)) >= prefixLen
+}
+
+// UsedBytes returns the bytes currently cached.
+func (c *Cache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of cached records.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Invalidate drops one record's entry.
+func (c *Cache) Invalidate(record int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[record]; ok {
+		c.used -= int64(len(e.prefix))
+		delete(c.entries, record)
+		c.lru.Remove(e.elem)
+	}
+}

@@ -1,0 +1,264 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// backing simulates record files of a fixed size with byte values derived
+// from (record, offset) so slices are verifiable.
+type backing struct {
+	mu      sync.Mutex
+	fetches int64
+	bytes   int64
+	fail    bool
+}
+
+func (bk *backing) fetch(record int, offset, length int64) ([]byte, error) {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if bk.fail {
+		return nil, fmt.Errorf("backing: injected failure")
+	}
+	bk.fetches++
+	bk.bytes += length
+	out := make([]byte, length)
+	for i := range out {
+		out[i] = byte(record*31 + int(offset) + i)
+	}
+	return out, nil
+}
+
+func wantBytes(record int, n int64) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(record*31 + i)
+	}
+	return out
+}
+
+func TestMissThenHit(t *testing.T) {
+	bk := &backing{}
+	c, err := New(1<<20, bk.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes(3, 100)) {
+		t.Fatal("wrong bytes on miss")
+	}
+	got, err = c.Get(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes(3, 100)) {
+		t.Fatal("wrong bytes on hit")
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 || s.UpgradeHits != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if bk.bytes != 100 {
+		t.Errorf("backing read %d bytes, want 100", bk.bytes)
+	}
+}
+
+func TestUpgradeReadsOnlyDelta(t *testing.T) {
+	bk := &backing{}
+	c, _ := New(1<<20, bk.fetch)
+	// Read at scan group ~2 (say 100 bytes), then upgrade to ~5 (300).
+	if _, err := c.Get(7, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(7, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes(7, 300)) {
+		t.Fatal("upgrade returned wrong bytes")
+	}
+	if bk.bytes != 300 {
+		t.Errorf("backing read %d bytes total, want 300 (100 + 200 delta)", bk.bytes)
+	}
+	s := c.Stats()
+	if s.UpgradeHits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Downgrade request after upgrade is a pure hit.
+	if _, err := c.Get(7, 50); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != 1 {
+		t.Errorf("downgrade not a hit: %+v", c.Stats())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	bk := &backing{}
+	c, _ := New(250, bk.fetch)
+	for r := 0; r < 3; r++ {
+		if _, err := c.Get(r, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget 250 holds two 100-byte entries; record 0 must be evicted.
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Contains(0, 1) {
+		t.Error("record 0 not evicted")
+	}
+	if !c.Contains(2, 100) || !c.Contains(1, 100) {
+		t.Error("recent records evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+	// Touch record 1, add record 3: record 2 is now LRU and evicted.
+	if _, err := c.Get(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(3, 100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(2, 1) {
+		t.Error("LRU order not respected")
+	}
+	if !c.Contains(1, 100) {
+		t.Error("recently touched record evicted")
+	}
+}
+
+func TestOversizedEntryKept(t *testing.T) {
+	bk := &backing{}
+	c, _ := New(100, bk.fetch)
+	got, err := c.Get(1, 500) // bigger than the whole budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatal("oversized read truncated")
+	}
+	// The just-served entry must survive (callers hold the slice anyway).
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	bk := &backing{}
+	c, _ := New(1<<20, bk.fetch)
+	c.Get(1, 100)
+	c.Invalidate(1)
+	if c.Contains(1, 1) || c.UsedBytes() != 0 {
+		t.Error("invalidate did not drop entry")
+	}
+	c.Invalidate(99) // no-op
+}
+
+func TestFetchErrorPropagates(t *testing.T) {
+	bk := &backing{fail: true}
+	c, _ := New(1<<20, bk.fetch)
+	if _, err := c.Get(1, 10); err == nil {
+		t.Error("fetch error swallowed")
+	}
+	if c.Len() != 0 {
+		t.Error("failed fetch left an entry")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, func(int, int64, int64) ([]byte, error) { return nil, nil }); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(10, nil); err == nil {
+		t.Error("nil fetcher accepted")
+	}
+	bk := &backing{}
+	c, _ := New(10, bk.fetch)
+	if _, err := c.Get(1, -1); err == nil {
+		t.Error("negative length accepted")
+	}
+}
+
+// TestCachePressureScenario reproduces the paper's claim: training at scan
+// group 2 lets ~5x more records fit in cache than full-quality training,
+// and an occasional full-quality consumer pays only delta reads.
+func TestCachePressureScenario(t *testing.T) {
+	bk := &backing{}
+	const records = 100
+	const fullLen, scan2Len = 10000, 2000
+	// A budget of 50 full records: a full-quality epoch could cache only
+	// half the dataset, but the scan-2 working set (100 × 2000 bytes)
+	// fits entirely with room for upgrades.
+	c, _ := New(50*fullLen, bk.fetch)
+
+	// Scan-2 epoch: every record fits.
+	for r := 0; r < records; r++ {
+		if _, err := c.Get(r, scan2Len); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != records {
+		t.Fatalf("scan-2 epoch: only %d records cached", c.Len())
+	}
+	// Second scan-2 epoch: all hits, zero backing traffic.
+	before := bk.bytes
+	for r := 0; r < records; r++ {
+		if _, err := c.Get(r, scan2Len); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bk.bytes != before {
+		t.Errorf("second epoch fetched %d bytes, want 0", bk.bytes-before)
+	}
+	// Upgrading 10 records to full quality reads only the deltas.
+	before = bk.bytes
+	for r := 0; r < 10; r++ {
+		if _, err := c.Get(r, fullLen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantDelta := int64(10 * (fullLen - scan2Len))
+	if bk.bytes-before != wantDelta {
+		t.Errorf("upgrades fetched %d bytes, want %d", bk.bytes-before, wantDelta)
+	}
+}
+
+func TestConcurrentGets(t *testing.T) {
+	bk := &backing{}
+	c, _ := New(1<<20, bk.fetch)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				rec := rng.Intn(10)
+				n := int64(rng.Intn(400) + 1)
+				got, err := c.Get(rec, n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, wantBytes(rec, n)) {
+					errs <- fmt.Errorf("bad bytes for rec %d len %d", rec, n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package cache_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+)
+
+// Example shows the delta-upgrade property: after caching a record's scan-2
+// prefix, a scan-5 request fetches only the missing bytes.
+func Example() {
+	var fetched int64
+	backing := make([]byte, 10000) // one record's full bytes
+	fetch := func(record int, offset, length int64) ([]byte, error) {
+		fetched += length
+		return backing[offset : offset+length], nil
+	}
+	c, err := cache.New(1<<20, fetch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const scan2Len, scan5Len = 2000, 6000
+	if _, err := c.Get(0, scan2Len); err != nil { // cold read
+		log.Fatal(err)
+	}
+	fmt.Printf("after scan-2 read: fetched %d bytes\n", fetched)
+
+	if _, err := c.Get(0, scan5Len); err != nil { // upgrade: delta only
+		log.Fatal(err)
+	}
+	fmt.Printf("after scan-5 upgrade: fetched %d bytes (delta was %d)\n", fetched, scan5Len-scan2Len)
+
+	if _, err := c.Get(0, scan2Len); err != nil { // downgrade: pure hit
+		log.Fatal(err)
+	}
+	s := c.Stats()
+	fmt.Printf("hits=%d upgrades=%d misses=%d\n", s.Hits, s.UpgradeHits, s.Misses)
+
+	// Output:
+	// after scan-2 read: fetched 2000 bytes
+	// after scan-5 upgrade: fetched 6000 bytes (delta was 4000)
+	// hits=1 upgrades=1 misses=1
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"bytes"
+	"image"
+	"testing"
+
+	"repro/internal/jpegc"
+	"repro/internal/mssim"
+	"repro/internal/synth"
+)
+
+// buildSamples encodes n synthetic images as baseline JPEG.
+func buildSamples(t testing.TB, n int) []Sample {
+	t.Helper()
+	p := synth.Cars
+	p.NumImages = n
+	p.ImageSize = 48
+	ds, err := synth.Generate(p, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]synth.Sample(nil), ds.Train...), ds.Test...)
+	var out []Sample
+	for _, s := range all[:n] {
+		data, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: p.JPEGQuality})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Sample{ID: int64(s.ID), Label: int64(s.Label), JPEG: data})
+	}
+	return out
+}
+
+func writeTestRecord(t testing.TB, samples []Sample) ([]byte, *RecordMeta) {
+	t.Helper()
+	var buf bytes.Buffer
+	meta, err := WriteRecord(&buf, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), meta
+}
+
+func TestWriteRecordAndParse(t *testing.T) {
+	samples := buildSamples(t, 6)
+	data, meta := writeTestRecord(t, samples)
+
+	if meta.NumGroups != 10 {
+		t.Fatalf("NumGroups = %d, want 10", meta.NumGroups)
+	}
+	if len(meta.Samples) != 6 {
+		t.Fatalf("samples = %d", len(meta.Samples))
+	}
+	if meta.TotalLen() != int64(len(data)) {
+		t.Errorf("TotalLen = %d, file is %d bytes", meta.TotalLen(), len(data))
+	}
+	// Reparse from the file bytes.
+	meta2, err := ParseRecordMeta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range meta.Samples {
+		if meta.Samples[i].ID != meta2.Samples[i].ID || meta.Samples[i].Label != meta2.Samples[i].Label {
+			t.Errorf("sample %d identity mismatch", i)
+		}
+	}
+	// Metadata-only prefix must be parseable.
+	p0, err := meta.PrefixLen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseRecordMeta(data[:p0]); err != nil {
+		t.Errorf("metadata-only prefix: %v", err)
+	}
+}
+
+func TestEveryPrefixDecodesEveryImage(t *testing.T) {
+	samples := buildSamples(t, 4)
+	data, meta := writeTestRecord(t, samples)
+	for g := 1; g <= meta.NumGroups; g++ {
+		need, err := meta.PrefixLen(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := data[:need]
+		for i := range meta.Samples {
+			img, err := meta.DecodeSample(prefix, i, g)
+			if err != nil {
+				t.Fatalf("group %d sample %d: %v", g, i, err)
+			}
+			if img.Bounds().Dx() != 48 {
+				t.Fatalf("group %d sample %d: bad size %v", g, i, img.Bounds())
+			}
+		}
+	}
+}
+
+func TestQualityMonotoneInScanGroup(t *testing.T) {
+	samples := buildSamples(t, 3)
+	data, meta := writeTestRecord(t, samples)
+	full := data[:meta.TotalLen()]
+	for i := range meta.Samples {
+		ref, err := meta.DecodeSample(full, i, meta.NumGroups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for _, g := range []int{1, 2, 5, 10} {
+			need, _ := meta.PrefixLen(g)
+			img, err := meta.DecodeSample(data[:need], i, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := mssim.MSSIM(img, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim < prev-0.02 {
+				t.Errorf("sample %d: MSSIM dropped at group %d: %.4f < %.4f", i, g, sim, prev)
+			}
+			if sim > prev {
+				prev = sim
+			}
+		}
+		if prev < 0.999 {
+			t.Errorf("sample %d: full-quality MSSIM %.4f, want ~1", i, prev)
+		}
+	}
+}
+
+func TestFullQualityMatchesOriginal(t *testing.T) {
+	// Reading all scan groups must reproduce exactly the original
+	// coefficients (lossless rearrangement).
+	samples := buildSamples(t, 2)
+	data, meta := writeTestRecord(t, samples)
+	for i, s := range samples {
+		orig, err := jpegc.DecodeCoeffs(s.JPEG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := meta.SampleJPEG(data, i, meta.NumGroups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := jpegc.DecodeCoeffs(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(orig) {
+			t.Errorf("sample %d: coefficients differ from original", i)
+		}
+	}
+}
+
+func TestNoSpaceOverhead(t *testing.T) {
+	// The PCR record must be within 10% of the sum of progressive images
+	// (metadata is small) and within ~15% of the baseline dataset.
+	samples := buildSamples(t, 16)
+	data, _ := writeTestRecord(t, samples)
+	var progTotal, baseTotal int
+	for _, s := range samples {
+		prog, err := jpegc.Transcode(s.JPEG, &jpegc.Options{Progressive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		progTotal += len(prog)
+		baseTotal += len(s.JPEG)
+	}
+	if r := float64(len(data)) / float64(progTotal); r > 1.10 {
+		t.Errorf("PCR/progressive size ratio = %.3f", r)
+	}
+	if r := float64(len(data)) / float64(baseTotal); r > 1.15 {
+		t.Errorf("PCR/baseline size ratio = %.3f (pcr %d, base %d)", r, len(data), baseTotal)
+	}
+}
+
+func TestShortPrefixRejected(t *testing.T) {
+	samples := buildSamples(t, 2)
+	data, meta := writeTestRecord(t, samples)
+	need, _ := meta.PrefixLen(3)
+	if _, err := meta.SampleJPEG(data[:need-1], 0, 3); err == nil {
+		t.Error("short prefix accepted")
+	}
+	if _, err := meta.SampleJPEG(data, 0, 0); err == nil {
+		t.Error("scan group 0 image read accepted")
+	}
+	if _, err := meta.SampleJPEG(data, 99, 1); err == nil {
+		t.Error("bad sample index accepted")
+	}
+}
+
+func TestParseRejectsDamage(t *testing.T) {
+	samples := buildSamples(t, 2)
+	data, _ := writeTestRecord(t, samples)
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := ParseRecordMeta(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ParseRecordMeta(data[:6]); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, err := ParseRecordMeta(data[:20]); err == nil {
+		t.Error("truncated metadata accepted")
+	}
+}
+
+func TestEmptyRecordRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteRecord(&buf, nil); err == nil {
+		t.Error("empty record accepted")
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	samples := buildSamples(t, 10)
+	w, err := CreateDataset(dir, &DatasetOptions{ImagesPerRecord: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if err := w.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.NumRecords() != 3 { // 4+4+2
+		t.Fatalf("records = %d, want 3", ds.NumRecords())
+	}
+	if ds.NumImages() != 10 {
+		t.Fatalf("images = %d", ds.NumImages())
+	}
+	if ds.NumGroups != 10 {
+		t.Fatalf("groups = %d", ds.NumGroups)
+	}
+
+	// Check RecordPrefixLen agrees with on-disk metadata and scan-group
+	// reads decode labeled images.
+	seen := map[int64]bool{}
+	for r := 0; r < ds.NumRecords(); r++ {
+		for _, g := range []int{1, 5, 10} {
+			decoded, err := ds.ReadRecordAt(r, g)
+			if err != nil {
+				t.Fatalf("record %d group %d: %v", r, g, err)
+			}
+			n, _ := ds.RecordSamples(r)
+			if len(decoded) != n {
+				t.Fatalf("record %d: %d decoded, want %d", r, len(decoded), n)
+			}
+			for _, d := range decoded {
+				if g == 10 {
+					seen[d.ID] = true
+				}
+				if d.Img == nil {
+					t.Fatal("nil image")
+				}
+			}
+		}
+		// Prefix lengths must be strictly increasing in g.
+		prev := int64(-1)
+		for g := 0; g <= ds.NumGroups; g++ {
+			n, err := ds.RecordPrefixLen(r, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n <= prev {
+				t.Fatalf("record %d: prefix(%d)=%d not increasing", r, g, n)
+			}
+			prev = n
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("saw %d unique ids, want 10", len(seen))
+	}
+	// Labels must match the originals.
+	decoded, err := ds.ReadRecordAt(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range decoded {
+		if d.Label != samples[i].Label {
+			t.Errorf("sample %d label %d, want %d", i, d.Label, samples[i].Label)
+		}
+	}
+}
+
+func TestOpenDatasetMissing(t *testing.T) {
+	if _, err := OpenDataset(t.TempDir()); err == nil {
+		t.Error("empty dir accepted as dataset")
+	}
+}
+
+func TestGrayscaleRecord(t *testing.T) {
+	// Grayscale images have 6 scans; the record must still work with later
+	// groups empty.
+	img := image.NewGray(image.Rect(0, 0, 32, 32))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(i * 7 % 256)
+	}
+	data, err := jpegc.Encode(img, &jpegc.Options{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	meta, err := WriteRecord(&buf, []Sample{{ID: 1, Label: 2, JPEG: data}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumGroups != 6 {
+		t.Fatalf("gray NumGroups = %d, want 6", meta.NumGroups)
+	}
+	for g := 1; g <= 6; g++ {
+		need, _ := meta.PrefixLen(g)
+		if _, err := meta.DecodeSample(buf.Bytes()[:need], 0, g); err != nil {
+			t.Fatalf("group %d: %v", g, err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"image"
+	"os"
+	"path/filepath"
+
+	"repro/internal/kvstore"
+	"repro/internal/wire"
+)
+
+// DatasetOptions configure dataset creation.
+type DatasetOptions struct {
+	// ImagesPerRecord is the record batching factor (the paper uses ~1024
+	// images per record at ImageNet scale; pick smaller for small datasets).
+	ImagesPerRecord int
+}
+
+func (o *DatasetOptions) imagesPerRecord() int {
+	if o == nil || o.ImagesPerRecord <= 0 {
+		return 64
+	}
+	return o.ImagesPerRecord
+}
+
+// DatasetWriter encodes a stream of samples into a PCR dataset directory:
+// numbered .pcr record files plus a kvstore metadata database holding the
+// record index (the paper's SQLite/RocksDB role).
+type DatasetWriter struct {
+	dir     string
+	opts    DatasetOptions
+	db      *kvstore.Store
+	pending []Sample
+	nrec    int
+	ngroups int
+	nimg    int
+	closed  bool
+}
+
+// CreateDataset initializes a new PCR dataset at dir.
+func CreateDataset(dir string, opts *DatasetOptions) (*DatasetWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	db, err := kvstore.Open(filepath.Join(dir, "meta"), nil)
+	if err != nil {
+		return nil, err
+	}
+	var o DatasetOptions
+	if opts != nil {
+		o = *opts
+	}
+	return &DatasetWriter{dir: dir, opts: o, db: db}, nil
+}
+
+// Append adds one sample, flushing a record when the batch fills.
+func (w *DatasetWriter) Append(s Sample) error {
+	if w.closed {
+		return fmt.Errorf("core: writer closed")
+	}
+	w.pending = append(w.pending, s)
+	if len(w.pending) >= w.opts.imagesPerRecord() {
+		return w.flush()
+	}
+	return nil
+}
+
+func recordName(i int) string { return fmt.Sprintf("record-%05d.pcr", i) }
+
+func (w *DatasetWriter) flush() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	name := recordName(w.nrec)
+	f, err := os.Create(filepath.Join(w.dir, name))
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	meta, err := WriteRecord(f, w.pending)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+
+	// Record index entry: file name, sample count, prefix length per group.
+	enc := wire.NewEncoder(nil)
+	enc.String(1, name)
+	enc.Uint64(2, uint64(len(w.pending)))
+	prefixes := make([]uint64, meta.NumGroups+1)
+	for g := 0; g <= meta.NumGroups; g++ {
+		n, err := meta.PrefixLen(g)
+		if err != nil {
+			return err
+		}
+		prefixes[g] = uint64(n)
+	}
+	enc.PackedUint64(3, prefixes)
+	if err := w.db.Put([]byte(fmt.Sprintf("record/%05d", w.nrec)), enc.Encode()); err != nil {
+		return err
+	}
+
+	if meta.NumGroups > w.ngroups {
+		w.ngroups = meta.NumGroups
+	}
+	w.nimg += len(w.pending)
+	w.nrec++
+	w.pending = w.pending[:0]
+	return nil
+}
+
+// Close flushes the final partial record and the dataset-level metadata.
+func (w *DatasetWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	enc := wire.NewEncoder(nil)
+	enc.Uint64(1, uint64(w.nrec))
+	enc.Uint64(2, uint64(w.ngroups))
+	enc.Uint64(3, uint64(w.nimg))
+	if err := w.db.Put([]byte("dataset"), enc.Encode()); err != nil {
+		return err
+	}
+	w.closed = true
+	return w.db.Close()
+}
+
+// Dataset is an opened PCR dataset directory.
+type Dataset struct {
+	dir       string
+	db        *kvstore.Store
+	NumGroups int
+	numRec    int
+	numImg    int
+	records   []recordEntry
+}
+
+type recordEntry struct {
+	name     string
+	samples  int
+	prefixes []int64 // indexed by scan group, 0..NumGroups
+}
+
+// OpenDataset opens a PCR dataset directory created by DatasetWriter.
+func OpenDataset(dir string) (*Dataset, error) {
+	db, err := kvstore.Open(filepath.Join(dir, "meta"), nil)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{dir: dir, db: db}
+	raw, err := db.Get([]byte("dataset"))
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("core: dataset metadata missing: %w", err)
+	}
+	d := wire.NewDecoder(raw)
+	for !d.Done() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		var v uint64
+		switch field {
+		case 1, 2, 3:
+			if v, err = d.Uint64(); err != nil {
+				db.Close()
+				return nil, err
+			}
+		default:
+			if err := d.Skip(wtype); err != nil {
+				db.Close()
+				return nil, err
+			}
+			continue
+		}
+		switch field {
+		case 1:
+			ds.numRec = int(v)
+		case 2:
+			ds.NumGroups = int(v)
+		case 3:
+			ds.numImg = int(v)
+		}
+	}
+	for i := 0; i < ds.numRec; i++ {
+		raw, err := db.Get([]byte(fmt.Sprintf("record/%05d", i)))
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("core: record %d metadata: %w", i, err)
+		}
+		re, err := parseRecordEntry(raw)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		ds.records = append(ds.records, re)
+	}
+	return ds, nil
+}
+
+func parseRecordEntry(raw []byte) (recordEntry, error) {
+	var re recordEntry
+	d := wire.NewDecoder(raw)
+	for !d.Done() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return re, err
+		}
+		switch field {
+		case 1:
+			if re.name, err = d.String(); err != nil {
+				return re, err
+			}
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return re, err
+			}
+			re.samples = int(v)
+		case 3:
+			vs, err := d.PackedUint64()
+			if err != nil {
+				return re, err
+			}
+			for _, v := range vs {
+				re.prefixes = append(re.prefixes, int64(v))
+			}
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return re, err
+			}
+		}
+	}
+	if re.name == "" || len(re.prefixes) == 0 {
+		return re, fmt.Errorf("core: malformed record entry")
+	}
+	return re, nil
+}
+
+// Close releases the metadata database.
+func (ds *Dataset) Close() error { return ds.db.Close() }
+
+// NumRecords returns the record count.
+func (ds *Dataset) NumRecords() int { return ds.numRec }
+
+// NumImages returns the total image count.
+func (ds *Dataset) NumImages() int { return ds.numImg }
+
+// RecordPath returns the file path of record i.
+func (ds *Dataset) RecordPath(i int) (string, error) {
+	if i < 0 || i >= ds.numRec {
+		return "", fmt.Errorf("core: record %d out of range", i)
+	}
+	return filepath.Join(ds.dir, ds.records[i].name), nil
+}
+
+// RecordPrefixLen returns the bytes needed to read record i at scan group g
+// — the quantity the paper's bandwidth model is built on — without touching
+// the record file (it comes from the metadata DB).
+func (ds *Dataset) RecordPrefixLen(i, g int) (int64, error) {
+	if i < 0 || i >= ds.numRec {
+		return 0, fmt.Errorf("core: record %d out of range", i)
+	}
+	re := &ds.records[i]
+	if g < 0 || g >= len(re.prefixes) {
+		return 0, fmt.Errorf("core: scan group %d out of range [0,%d]", g, len(re.prefixes)-1)
+	}
+	return re.prefixes[g], nil
+}
+
+// RecordSamples returns the number of images in record i.
+func (ds *Dataset) RecordSamples(i int) (int, error) {
+	if i < 0 || i >= ds.numRec {
+		return 0, fmt.Errorf("core: record %d out of range", i)
+	}
+	return ds.records[i].samples, nil
+}
+
+// DecodedSample is one image materialized from a record prefix.
+type DecodedSample struct {
+	ID    int64
+	Label int64
+	Img   image.Image
+}
+
+// ReadRecordPrefix reads exactly the prefix of record i needed for scan
+// group g. This is the dataset's only read path — by construction it is a
+// single sequential read from offset zero.
+func (ds *Dataset) ReadRecordPrefix(i, g int) ([]byte, *RecordMeta, error) {
+	path, err := ds.RecordPath(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	need, err := ds.RecordPrefixLen(i, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, need)
+	if _, err := readFull(f, buf); err != nil {
+		return nil, nil, fmt.Errorf("core: reading %s: %w", path, err)
+	}
+	meta, err := ParseRecordMeta(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, meta, nil
+}
+
+// ReadRecordAt materializes every image of record i at scan group g.
+func (ds *Dataset) ReadRecordAt(i, g int) ([]DecodedSample, error) {
+	prefix, meta, err := ds.ReadRecordPrefix(i, g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DecodedSample, 0, len(meta.Samples))
+	for si := range meta.Samples {
+		img, err := meta.DecodeSample(prefix, si, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DecodedSample{
+			ID:    meta.Samples[si].ID,
+			Label: meta.Samples[si].Label,
+			Img:   img,
+		})
+	}
+	return out, nil
+}
+
+func readFull(f *os.File, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := f.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/synth"
+)
+
+func init() {
+	register(Experiment{
+		ID: "cachepressure", Paper: "§5 cache pressure",
+		Desc: "PCR prefix cache: low scan groups multiply the cacheable working set; upgrades read only deltas",
+		Run:  runCachePressure,
+	})
+}
+
+// runCachePressure quantifies the paper's §5 claim ("PCRs can reduce cache
+// pressure since a subset of the data is used for training"): with a fixed
+// cache budget, training at scan group g caches prefixLen(g) bytes per
+// record, so the fraction of the dataset that fits grows as the group
+// shrinks; and a later quality upgrade fetches only the missing delta bytes
+// because every quality level is a prefix of the same stream.
+func runCachePressure(cfg *Config) error {
+	header(cfg.Out, "§5 cache pressure",
+		"Records cacheable under a fixed budget per scan group; delta-upgrade traffic")
+	set, err := cfg.pcrSet(synth.HAM10000)
+	if err != nil {
+		return err
+	}
+	records := make(map[int][]byte, set.NumRecords())
+	fullBytes, err := set.RecordBytesAtGroup(set.NumGroups)
+	if err != nil {
+		return err
+	}
+	var datasetBytes int64
+	for r, n := range fullBytes {
+		records[r] = make([]byte, n)
+		datasetBytes += n
+	}
+	// Budget: one third of the full dataset (a cache-constrained node).
+	budget := datasetBytes / 3
+	fetch := func(record int, offset, length int64) ([]byte, error) {
+		return records[record][offset : offset+length], nil
+	}
+
+	fmt.Fprintf(cfg.Out, "dataset: %d records, %d bytes total; cache budget %d bytes\n\n",
+		set.NumRecords(), datasetBytes, budget)
+	fmt.Fprintf(cfg.Out, "%6s %14s %16s %18s\n", "scan", "bytes/record", "records cached", "epoch-2 hit rate")
+	for _, g := range scanGroups {
+		gg := g
+		if gg > set.NumGroups {
+			gg = set.NumGroups
+		}
+		rb, err := set.RecordBytesAtGroup(gg)
+		if err != nil {
+			return err
+		}
+		c, err := cache.New(budget, fetch)
+		if err != nil {
+			return err
+		}
+		// Epoch 1 populates; epoch 2 measures hits.
+		for r := 0; r < set.NumRecords(); r++ {
+			if _, err := c.Get(r, rb[r]); err != nil {
+				return err
+			}
+		}
+		cachedAfterEpoch1 := c.Len()
+		before := c.Stats()
+		for r := 0; r < set.NumRecords(); r++ {
+			if _, err := c.Get(r, rb[r]); err != nil {
+				return err
+			}
+		}
+		after := c.Stats()
+		hits := after.Hits - before.Hits
+		var mean int64
+		for _, b := range rb {
+			mean += b
+		}
+		mean /= int64(len(rb))
+		fmt.Fprintf(cfg.Out, "%6d %14d %9d/%-6d %17.0f%%\n",
+			g, mean, cachedAfterEpoch1, set.NumRecords(),
+			100*float64(hits)/float64(set.NumRecords()))
+	}
+
+	// Delta upgrades: train at scan 2 (everything cached), then a second
+	// job wants scan 5 — only the deltas travel.
+	rb2, err := set.RecordBytesAtGroup(2)
+	if err != nil {
+		return err
+	}
+	rb5, err := set.RecordBytesAtGroup(5)
+	if err != nil {
+		return err
+	}
+	c, err := cache.New(budget, fetch)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < set.NumRecords(); r++ {
+		if _, err := c.Get(r, rb2[r]); err != nil {
+			return err
+		}
+	}
+	base := c.Stats().BytesFetched
+	for r := 0; r < set.NumRecords(); r++ {
+		if _, err := c.Get(r, rb5[r]); err != nil {
+			return err
+		}
+	}
+	upgrade := c.Stats().BytesFetched - base
+	var full5 int64
+	for _, b := range rb5 {
+		full5 += b
+	}
+	fmt.Fprintf(cfg.Out, "\nupgrade scan 2 -> 5: fetched %d bytes vs %d for cold reads (%.0f%% saved; %d upgrade hits)\n",
+		upgrade, full5, 100*(1-float64(upgrade)/float64(full5)), c.Stats().UpgradeHits)
+	return nil
+}

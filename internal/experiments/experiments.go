@@ -1,0 +1,187 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the reproduction stack: synthetic datasets → PCR encoding →
+// simulated storage/pipeline → real SGD training. Each experiment prints
+// the rows or series the paper reports; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/iosim"
+	"repro/internal/synth"
+	"repro/internal/train"
+)
+
+// Config carries shared experiment parameters.
+type Config struct {
+	// Out receives the experiment's report.
+	Out io.Writer
+	// Scale multiplies dataset sizes (1.0 = the profiles' defaults).
+	Scale float64
+	// Seed drives all generation and training.
+	Seed int64
+	// Epochs overrides the per-dataset epoch budgets when > 0.
+	Epochs int
+
+	mu   sync.Mutex
+	sets map[string]*train.PCRSet
+	data map[string]*synth.Dataset
+}
+
+// NewConfig returns a Config with defaults.
+func NewConfig(out io.Writer) *Config {
+	return &Config{Out: out, Scale: 1.0, Seed: 42}
+}
+
+func (c *Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1.0
+	}
+	return c.Scale
+}
+
+// epochsFor returns the scaled epoch budget for a dataset (the paper runs
+// 90–250 epochs; the reproduction compresses the schedule).
+func (c *Config) epochsFor(name string) int {
+	if c.Epochs > 0 {
+		return c.Epochs
+	}
+	switch name {
+	case "imagenet":
+		return 24
+	case "ham10000":
+		return 30
+	case "cars":
+		return 30
+	default: // celebahq
+		return 18
+	}
+}
+
+// dataset returns (building and caching) the synthetic dataset for a
+// profile.
+func (c *Config) dataset(p synth.Profile) (*synth.Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.data == nil {
+		c.data = make(map[string]*synth.Dataset)
+	}
+	if ds, ok := c.data[p.Name]; ok {
+		return ds, nil
+	}
+	ds, err := synth.Generate(p.Scaled(c.scale()), c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c.data[p.Name] = ds
+	return ds, nil
+}
+
+// pcrSet returns (building and caching) the PCR-encoded dataset.
+func (c *Config) pcrSet(p synth.Profile) (*train.PCRSet, error) {
+	ds, err := c.dataset(p)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sets == nil {
+		c.sets = make(map[string]*train.PCRSet)
+	}
+	if s, ok := c.sets[p.Name]; ok {
+		return s, nil
+	}
+	set, err := train.BuildPCRSet(ds, 16)
+	if err != nil {
+		return nil, err
+	}
+	c.sets[p.Name] = set
+	return set, nil
+}
+
+// sharedCluster builds one storage cluster calibrated against the
+// ImageNet-profile mean image size — the same storage serves every dataset,
+// as in the paper's testbed (bigger-image datasets are therefore more I/O
+// bound, reproducing Figure 9's dataset ordering).
+func (c *Config) sharedCluster() (*iosim.Cluster, error) {
+	set, err := c.pcrSet(synth.ImageNet)
+	if err != nil {
+		return nil, err
+	}
+	mean, err := set.MeanImageBytesAtGroup(set.NumGroups)
+	if err != nil {
+		return nil, err
+	}
+	return train.ScaledStorage(mean, set.ImagesPerRecord)
+}
+
+// referenceMeanBytes returns the calibration mean image size.
+func (c *Config) referenceMeanBytes() (float64, error) {
+	set, err := c.pcrSet(synth.ImageNet)
+	if err != nil {
+		return 0, err
+	}
+	return set.MeanImageBytesAtGroup(set.NumGroups)
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the short name used by `cmd/experiments -run <id>`.
+	ID string
+	// Paper names the table/figure reproduced.
+	Paper string
+	// Desc summarizes the workload.
+	Desc string
+	// Run executes the experiment, printing to cfg.Out.
+	Run func(cfg *Config) error
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Experiment
+)
+
+func register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = append(registry, e)
+}
+
+// All lists the registered experiments sorted by ID.
+func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// header prints a section banner.
+func header(w io.Writer, paper, desc string) {
+	fmt.Fprintf(w, "\n== %s ==\n%s\n\n", paper, desc)
+}
+
+// scanGroups are the quality levels every sweep uses, as in the paper.
+var scanGroups = []int{1, 2, 5, 10}
+
+// groupLabel names a scan group the way the figures do.
+func groupLabel(g, max int) string {
+	if g >= max {
+		return "Baseline"
+	}
+	return fmt.Sprintf("Group_%d", g)
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyConfig(buf *bytes.Buffer) *Config {
+	cfg := NewConfig(buf)
+	cfg.Scale = 0.12
+	cfg.Seed = 7
+	cfg.Epochs = 4
+	return cfg
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact in the paper's evaluation must have a registered
+	// experiment.
+	want := []string{
+		"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig11", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig31",
+		"grids", "epochs", "cars", "spaceamp", "decodecost", "cachepressure",
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		ids[e.ID] = true
+		if e.Paper == "" || e.Desc == "" || e.Run == nil {
+			t.Errorf("experiment %s has missing fields", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !ids[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := ByID("table1"); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheapExperimentsRun executes the non-training experiments end to end
+// at tiny scale, checking they print plausible content.
+func TestCheapExperimentsRun(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	checks := map[string][]string{
+		"table1": {"imagenet", "cars", "Classes"},
+		"fig12":  {"Probability", "["},
+		"fig14":  {"crossover", "io-bound", "compute-bound"},
+		"fig16":  {"scan  1", "scan 10", "byte ratio"},
+		"fig31":  {"KiB", "imagenet"},
+		"fig11":  {"stalls", "Baseline"},
+		"fig9":   {"resnetlike", "shufflenetlike", "ham10000"},
+		"fig18":  {"measured/s", "predicted/s"},
+	}
+	for id, wants := range checks {
+		buf.Reset()
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(cfg); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := buf.String()
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", id, w, out)
+			}
+		}
+	}
+}
+
+// TestTrainingExperimentRuns exercises one full training experiment (the
+// Cars task sweep) at tiny scale.
+func TestTrainingExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	e, err := ByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, w := range []string{"multiclass", "make-only", "binary", "Baseline", "accuracy gap"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("fig6 output missing %q", w)
+		}
+	}
+}
+
+// TestAllExperimentsTinyScale executes EVERY registered experiment end to
+// end at a very small scale — the regression net for the whole harness.
+func TestAllExperimentsTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := NewConfig(&buf)
+	cfg.Scale = 0.08
+	cfg.Seed = 3
+	cfg.Epochs = 3
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			buf.Reset()
+			if err := e.Run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestFig17MSSIMMonotoneReport(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	e, err := ByID("fig17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MSSIM 1.0000") {
+		t.Error("scan 10 should report MSSIM 1.0")
+	}
+}
+
+func TestLinreg(t *testing.T) {
+	// Perfect line: y = 2x + 1.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	slope, intercept, r2 := linreg(xs, ys)
+	if slope != 2 || intercept != 1 || r2 < 0.999 {
+		t.Errorf("fit = %v, %v, %v", slope, intercept, r2)
+	}
+}
+
+func TestGroupLabel(t *testing.T) {
+	if groupLabel(10, 10) != "Baseline" {
+		t.Error("full group should be Baseline")
+	}
+	if groupLabel(2, 10) != "Group_2" {
+		t.Error("partial group mislabeled")
+	}
+}

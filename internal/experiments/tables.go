@@ -1,0 +1,416 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jpegc"
+	"repro/internal/mssim"
+	"repro/internal/recordio"
+	"repro/internal/synth"
+)
+
+func init() {
+	register(Experiment{
+		ID: "table1", Paper: "Table 1",
+		Desc: "PCR dataset size and record-count statistics for the four datasets",
+		Run:  runTable1,
+	})
+	register(Experiment{
+		ID: "fig12", Paper: "Figure 12",
+		Desc: "distribution of encoded ImageNet image sizes (log2 byte buckets)",
+		Run:  runFig12,
+	})
+	register(Experiment{
+		ID: "fig15", Paper: "Figure 15",
+		Desc: "dataset encoding time: static re-encoding at four qualities vs one PCR conversion",
+		Run:  runFig15,
+	})
+	register(Experiment{
+		ID: "fig16", Paper: "Figure 16",
+		Desc: "cumulative bytes per scan group (median and IQR across images)",
+		Run:  runFig16,
+	})
+	register(Experiment{
+		ID: "fig17", Paper: "Figure 17",
+		Desc: "MSSIM of scan-k reconstructions vs full quality (median and IQR)",
+		Run:  runFig17,
+	})
+	register(Experiment{
+		ID: "fig31", Paper: "Figure 31",
+		Desc: "cumulative size (KiB) of one example image at each scan, per dataset",
+		Run:  runFig31,
+	})
+	register(Experiment{
+		ID: "spaceamp", Paper: "§A.4 space amplification",
+		Desc: "bytes of multi-quality static copies vs a single PCR dataset",
+		Run:  runSpaceAmp,
+	})
+	register(Experiment{
+		ID: "decodecost", Paper: "§A.5 decoding overhead",
+		Desc: "wall-clock decode rate: baseline vs progressive JPEG",
+		Run:  runDecodeCost,
+	})
+}
+
+func runTable1(cfg *Config) error {
+	header(cfg.Out, "Table 1", "Record count, image count, dataset size, JPEG quality, classes")
+	fmt.Fprintf(cfg.Out, "%-10s %8s %8s %12s %12s %8s %8s\n",
+		"Dataset", "Records", "Images", "PCR bytes", "Base bytes", "Quality", "Classes")
+	for _, p := range synth.Profiles() {
+		set, err := cfg.pcrSet(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%-10s %8d %8d %12d %12d %7d%% %8d\n",
+			p.Name, set.NumRecords(), set.NumTrain(), set.PCRBytes, set.BaselineBytes,
+			p.JPEGQuality, p.FineClasses)
+	}
+	return nil
+}
+
+func runFig12(cfg *Config) error {
+	header(cfg.Out, "Figure 12", "Probability of encoded image sizes by power-of-two bucket (ImageNet profile)")
+	ds, err := cfg.dataset(synth.ImageNet)
+	if err != nil {
+		return err
+	}
+	buckets := map[int]int{}
+	total := 0
+	for _, s := range ds.Train {
+		data, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: ds.Profile.JPEGQuality, Subsample420: true})
+		if err != nil {
+			return err
+		}
+		b := 0
+		for (1 << (b + 1)) <= len(data) {
+			b++
+		}
+		buckets[b]++
+		total++
+	}
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(cfg.Out, "%-12s %12s\n", "Size bucket", "Probability")
+	for _, k := range keys {
+		fmt.Fprintf(cfg.Out, "[%6d,%6d) %11.3f\n", 1<<k, 1<<(k+1), float64(buckets[k])/float64(total))
+	}
+	return nil
+}
+
+func runFig15(cfg *Config) error {
+	header(cfg.Out, "Figure 15",
+		"Wall-clock encoding cost: four static quality re-encodings vs one PCR conversion")
+	ds, err := cfg.dataset(synth.Cars)
+	if err != nil {
+		return err
+	}
+	// Baseline-encode the dataset once (the "original JPEGs").
+	var originals [][]byte
+	for _, s := range ds.Train {
+		data, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: ds.Profile.JPEGQuality, Subsample420: true})
+		if err != nil {
+			return err
+		}
+		originals = append(originals, data)
+	}
+
+	// Static path: re-encode at 50/75/90/95% quality + record creation.
+	staticQualities := []int{50, 75, 90, 95}
+	var staticConvert, staticRecord time.Duration
+	var staticBytes int64
+	for _, q := range staticQualities {
+		t0 := time.Now()
+		var reencoded [][]byte
+		for _, data := range originals {
+			// Re-encoding requantizes: decode pixels and encode at the new
+			// quality (generation loss, like the paper's static baselines).
+			img, err := jpegc.Decode(data)
+			if err != nil {
+				return err
+			}
+			out, err := jpegc.Encode(img, &jpegc.Options{Quality: q, OptimizeHuffman: true, Subsample420: true})
+			if err != nil {
+				return err
+			}
+			reencoded = append(reencoded, out)
+		}
+		staticConvert += time.Since(t0)
+		t0 = time.Now()
+		var sink countWriter
+		w := recordio.NewWriter(&sink)
+		for i, data := range reencoded {
+			ex := recordio.Example{ID: int64(i), Label: 0, JPEG: data}
+			if err := w.Write(ex.Marshal()); err != nil {
+				return err
+			}
+		}
+		staticRecord += time.Since(t0)
+		staticBytes += sink.n
+	}
+
+	// PCR path: one lossless progressive conversion + record creation.
+	t0 := time.Now()
+	var progressive [][]byte
+	for _, data := range originals {
+		out, err := jpegc.Transcode(data, &jpegc.Options{Progressive: true})
+		if err != nil {
+			return err
+		}
+		progressive = append(progressive, out)
+	}
+	pcrConvert := time.Since(t0)
+	t0 = time.Now()
+	var pcrBytes int64
+	for start := 0; start < len(progressive); start += 16 {
+		end := start + 16
+		if end > len(progressive) {
+			end = len(progressive)
+		}
+		var samples []core.Sample
+		for i := start; i < end; i++ {
+			samples = append(samples, core.Sample{ID: int64(i), JPEG: progressive[i]})
+		}
+		var sink countWriter
+		if _, err := core.WriteRecord(&sink, samples); err != nil {
+			return err
+		}
+		pcrBytes += sink.n
+	}
+	pcrRecord := time.Since(t0)
+
+	fmt.Fprintf(cfg.Out, "%-22s %14s %14s %14s %12s\n", "Method", "Convert", "Record", "Total", "Bytes")
+	fmt.Fprintf(cfg.Out, "%-22s %14v %14v %14v %12d\n", "Static x4 qualities",
+		staticConvert.Round(time.Millisecond), staticRecord.Round(time.Millisecond),
+		(staticConvert + staticRecord).Round(time.Millisecond), staticBytes)
+	fmt.Fprintf(cfg.Out, "%-22s %14v %14v %14v %12d\n", "PCR (one conversion)",
+		pcrConvert.Round(time.Millisecond), pcrRecord.Round(time.Millisecond),
+		(pcrConvert + pcrRecord).Round(time.Millisecond), pcrBytes)
+	ratio := float64(staticConvert+staticRecord) / float64(pcrConvert+pcrRecord)
+	fmt.Fprintf(cfg.Out, "\nstatic/PCR total-time ratio: %.2fx (paper: PCR within 1.13-2.05x of ONE static level,\ni.e. ~4x cheaper than four static levels)\n", ratio)
+	return nil
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
+
+// perImageCumulative returns, for every train image of the set's records,
+// the cumulative bytes (header + groups 1..g) at each scan group.
+func perImageCumulative(cfg *Config, p synth.Profile) ([][]int64, int, error) {
+	set, err := cfg.pcrSet(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	ng := set.NumGroups
+	var rows [][]int64
+	for _, stats := range set.SampleGroupLens() {
+		row := make([]int64, ng)
+		cum := stats.HeaderLen
+		for g := 0; g < ng; g++ {
+			cum += stats.GroupLens[g]
+			row[g] = cum
+		}
+		rows = append(rows, row)
+	}
+	return rows, ng, nil
+}
+
+func quartiles(xs []int64) (q1, q2, q3 int64) {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	return s[n/4], s[n/2], s[3*n/4]
+}
+
+func runFig16(cfg *Config) error {
+	header(cfg.Out, "Figure 16", "Cumulative bytes read per image after scans 1..10 (median [IQR])")
+	for _, p := range synth.Profiles() {
+		rows, ng, err := perImageCumulative(cfg, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%s:\n", p.Name)
+		for g := 0; g < ng; g++ {
+			col := make([]int64, len(rows))
+			for i, r := range rows {
+				col[i] = r[g]
+			}
+			q1, q2, q3 := quartiles(col)
+			fmt.Fprintf(cfg.Out, "  scan %2d: %7d bytes [%7d, %7d]\n", g+1, q2, q1, q3)
+		}
+		full := make([]int64, len(rows))
+		one := make([]int64, len(rows))
+		for i, r := range rows {
+			full[i] = r[ng-1]
+			one[i] = r[0]
+		}
+		_, mFull, _ := quartiles(full)
+		_, mOne, _ := quartiles(one)
+		fmt.Fprintf(cfg.Out, "  full/scan1 byte ratio: %.1fx\n", float64(mFull)/float64(mOne))
+	}
+	return nil
+}
+
+func runFig17(cfg *Config) error {
+	header(cfg.Out, "Figure 17", "MSSIM of scan-k reconstruction vs full quality (median [IQR], 16 images/dataset)")
+	for _, p := range synth.Profiles() {
+		ds, err := cfg.dataset(p)
+		if err != nil {
+			return err
+		}
+		n := 16
+		if n > len(ds.Train) {
+			n = len(ds.Train)
+		}
+		// Per image: progressive encode, truncate to each scan, MSSIM.
+		sims := make([][]float64, 0, n)
+		var ng int
+		for _, s := range ds.Train[:n] {
+			data, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: p.JPEGQuality, Progressive: true, Subsample420: true})
+			if err != nil {
+				return err
+			}
+			idx, err := jpegc.IndexScans(data)
+			if err != nil {
+				return err
+			}
+			ng = len(idx.Scans)
+			full, err := jpegc.Decode(data)
+			if err != nil {
+				return err
+			}
+			row := make([]float64, ng)
+			for g := 1; g <= ng; g++ {
+				trunc, err := jpegc.TruncateToScan(data, idx, g)
+				if err != nil {
+					return err
+				}
+				img, err := jpegc.Decode(trunc)
+				if err != nil {
+					return err
+				}
+				sim, err := mssim.MSSIM(img, full)
+				if err != nil {
+					return err
+				}
+				row[g-1] = sim
+			}
+			sims = append(sims, row)
+		}
+		fmt.Fprintf(cfg.Out, "%s:\n", p.Name)
+		for g := 0; g < ng; g++ {
+			col := make([]float64, len(sims))
+			for i := range sims {
+				col[i] = sims[i][g]
+			}
+			sort.Float64s(col)
+			fmt.Fprintf(cfg.Out, "  scan %2d: MSSIM %.4f [%.4f, %.4f]\n",
+				g+1, col[len(col)/2], col[len(col)/4], col[3*len(col)/4])
+		}
+	}
+	return nil
+}
+
+func runFig31(cfg *Config) error {
+	header(cfg.Out, "Figure 31", "Cumulative KiB of one example image at each scan")
+	for _, p := range synth.Profiles() {
+		rows, ng, err := perImageCumulative(cfg, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%-10s:", p.Name)
+		for g := 0; g < ng; g++ {
+			fmt.Fprintf(cfg.Out, " (%d) %.1fKiB", g+1, float64(rows[0][g])/1024)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+func runSpaceAmp(cfg *Config) error {
+	header(cfg.Out, "§A.4 space amplification",
+		"Total bytes: per-quality static copies vs one PCR dataset (CelebAHQ profile)")
+	ds, err := cfg.dataset(synth.CelebAHQ)
+	if err != nil {
+		return err
+	}
+	set, err := cfg.pcrSet(synth.CelebAHQ)
+	if err != nil {
+		return err
+	}
+	qualities := []int{25, 50, 75, 90, 95}
+	var staticTotal int64
+	fmt.Fprintf(cfg.Out, "%-24s %12s\n", "Copy", "Bytes")
+	for _, q := range qualities {
+		var total int64
+		for _, s := range ds.Train {
+			data, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: q, OptimizeHuffman: true, Subsample420: true})
+			if err != nil {
+				return err
+			}
+			total += int64(len(data))
+		}
+		staticTotal += total
+		fmt.Fprintf(cfg.Out, "static quality %3d%%     %12d\n", q, total)
+	}
+	fmt.Fprintf(cfg.Out, "%-24s %12d\n", "static total (5 copies)", staticTotal)
+	fmt.Fprintf(cfg.Out, "%-24s %12d\n", "PCR (all qualities)", set.PCRBytes)
+	fmt.Fprintf(cfg.Out, "\nspace amplification avoided: %.2fx\n", float64(staticTotal)/float64(set.PCRBytes))
+	return nil
+}
+
+func runDecodeCost(cfg *Config) error {
+	header(cfg.Out, "§A.5 decoding overhead", "Wall-clock decode rate, baseline vs progressive")
+	ds, err := cfg.dataset(synth.Cars)
+	if err != nil {
+		return err
+	}
+	n := 48
+	if n > len(ds.Train) {
+		n = len(ds.Train)
+	}
+	var base, prog [][]byte
+	for _, s := range ds.Train[:n] {
+		b, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: ds.Profile.JPEGQuality, Subsample420: true})
+		if err != nil {
+			return err
+		}
+		p, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: ds.Profile.JPEGQuality, Progressive: true, Subsample420: true})
+		if err != nil {
+			return err
+		}
+		base = append(base, b)
+		prog = append(prog, p)
+	}
+	rate := func(imgs [][]byte) (float64, error) {
+		t0 := time.Now()
+		reps := 0
+		for time.Since(t0) < 300*time.Millisecond {
+			for _, d := range imgs {
+				if _, err := jpegc.Decode(d); err != nil {
+					return 0, err
+				}
+			}
+			reps++
+		}
+		return float64(reps*len(imgs)) / time.Since(t0).Seconds(), nil
+	}
+	rb, err := rate(base)
+	if err != nil {
+		return err
+	}
+	rp, err := rate(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "baseline:    %8.0f images/s\n", rb)
+	fmt.Fprintf(cfg.Out, "progressive: %8.0f images/s\n", rp)
+	fmt.Fprintf(cfg.Out, "overhead:    %8.0f%% (paper reports 40-50%%)\n", (rb/rp-1)*100)
+	return nil
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/train"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig4", Paper: "Figure 4",
+		Desc: "time-to-accuracy: ImageNet and CelebAHQ with ResNet and ShuffleNet, scan groups {1,2,5,baseline}",
+		Run: func(cfg *Config) error {
+			return runTimeAcc(cfg, []synth.Profile{synth.ImageNet, synth.CelebAHQ}, nn.Profiles(), nil)
+		},
+	})
+	register(Experiment{
+		ID: "fig5", Paper: "Figure 5",
+		Desc: "time-to-accuracy: HAM10000 with ResNet and ShuffleNet",
+		Run: func(cfg *Config) error {
+			return runTimeAcc(cfg, []synth.Profile{synth.HAM10000}, nn.Profiles(), nil)
+		},
+	})
+	register(Experiment{
+		ID: "fig6", Paper: "Figure 6 (and 29)",
+		Desc: "Cars with ResNet-18: original multiclass vs make-only vs binary Is-Corvette",
+		Run: func(cfg *Config) error {
+			return runCarsTasks(cfg, nn.ResNetLike)
+		},
+	})
+	register(Experiment{
+		ID: "cars", Paper: "Figure 30",
+		Desc: "Cars with ShuffleNetv2 across task granularities",
+		Run: func(cfg *Config) error {
+			return runCarsTasks(cfg, nn.ShuffleNetLike)
+		},
+	})
+	register(Experiment{
+		ID: "grids", Paper: "Figures 23-26",
+		Desc: "full accuracy+loss grids: all datasets x both models, acc/loss vs time",
+		Run: func(cfg *Config) error {
+			return runTimeAcc(cfg, synth.Profiles(), nn.Profiles(), nil)
+		},
+	})
+	register(Experiment{
+		ID: "epochs", Paper: "Figures 27-28",
+		Desc: "accuracy vs epoch: compression does not act as a regularizer",
+		Run:  runEpochGrids,
+	})
+}
+
+// runOne trains one (dataset, model, task, group) cell and returns the curve.
+func runOne(cfg *Config, p synth.Profile, model nn.ModelProfile, task synth.Task, group int) (*train.RunResult, error) {
+	set, err := cfg.pcrSet(p)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := cfg.sharedCluster()
+	if err != nil {
+		return nil, err
+	}
+	return train.Run(set, train.RunConfig{
+		Model:     model,
+		Task:      task,
+		ScanGroup: group,
+		Epochs:    cfg.epochsFor(p.Name),
+		Seed:      cfg.Seed,
+		Cluster:   cluster,
+		EvalEvery: 2,
+	})
+}
+
+func printCurve(cfg *Config, label string, res *train.RunResult) {
+	fmt.Fprintf(cfg.Out, "  %-9s:", label)
+	for _, pt := range res.Points {
+		if pt.Sampled {
+			fmt.Fprintf(cfg.Out, " (%.2fs, %.1f%%)", pt.TimeSec, pt.TestAcc*100)
+		}
+	}
+	fmt.Fprintf(cfg.Out, "  [final %.1f%%, total %.2fs, loss %.3f]\n",
+		res.FinalAcc*100, res.TotalTimeSec, res.Points[len(res.Points)-1].TrainLoss)
+}
+
+func runTimeAcc(cfg *Config, profiles []synth.Profile, models []nn.ModelProfile, taskOf func(synth.Profile) synth.Task) error {
+	header(cfg.Out, "Time-to-accuracy curves",
+		"Top-1 test accuracy over virtual time per scan group (series of (time, acc) samples)")
+	for _, p := range profiles {
+		set, err := cfg.pcrSet(p)
+		if err != nil {
+			return err
+		}
+		task := synth.Multiclass(p)
+		if taskOf != nil {
+			task = taskOf(p)
+		}
+		for _, m := range models {
+			fmt.Fprintf(cfg.Out, "%s / %s (%d classes):\n", p.Name, m.Name, task.NumClasses)
+			var baseline *train.RunResult
+			results := map[int]*train.RunResult{}
+			for _, g := range scanGroups {
+				gg := g
+				if gg > set.NumGroups {
+					gg = set.NumGroups
+				}
+				res, err := runOne(cfg, p, m, task, gg)
+				if err != nil {
+					return err
+				}
+				results[g] = res
+				printCurve(cfg, groupLabel(g, set.NumGroups), res)
+				if g == 10 {
+					baseline = res
+				}
+			}
+			// Speedup to the baseline's near-final accuracy, per group.
+			target := baseline.FinalAcc * 0.97
+			tBase, okB := baseline.TimeToAccuracy(target)
+			fmt.Fprintf(cfg.Out, "  time-to-%.1f%% speedups vs baseline:", target*100)
+			any := false
+			for _, g := range scanGroups[:len(scanGroups)-1] {
+				if tg, ok := results[g].TimeToAccuracy(target); ok && okB && tg > 0 {
+					fmt.Fprintf(cfg.Out, " scan%d=%.2fx", g, tBase/tg)
+					any = true
+				} else {
+					fmt.Fprintf(cfg.Out, " scan%d=n/a", g)
+				}
+			}
+			if !any {
+				fmt.Fprintf(cfg.Out, "  (no lower group reached the target)")
+			}
+			fmt.Fprintln(cfg.Out)
+		}
+	}
+	return nil
+}
+
+func runCarsTasks(cfg *Config, model nn.ModelProfile) error {
+	header(cfg.Out, "Cars task-granularity sweep",
+		"The gap between scan groups closes as the task coarsens (Observation 3)")
+	p := synth.Cars
+	binary, err := synth.Binary(p, 0)
+	if err != nil {
+		return err
+	}
+	tasks := []synth.Task{synth.Multiclass(p), synth.CoarseOnly(p), binary}
+	set, err := cfg.pcrSet(p)
+	if err != nil {
+		return err
+	}
+	for _, task := range tasks {
+		fmt.Fprintf(cfg.Out, "%s / %s / task=%s (%d classes):\n", p.Name, model.Name, task.Name, task.NumClasses)
+		accs := map[int]float64{}
+		for _, g := range scanGroups {
+			gg := g
+			if gg > set.NumGroups {
+				gg = set.NumGroups
+			}
+			res, err := runOne(cfg, p, model, task, gg)
+			if err != nil {
+				return err
+			}
+			accs[g] = res.FinalAcc
+			printCurve(cfg, groupLabel(g, set.NumGroups), res)
+		}
+		gap := accs[10] - accs[1]
+		fmt.Fprintf(cfg.Out, "  baseline-minus-scan1 accuracy gap: %+.1f points\n\n", gap*100)
+	}
+	return nil
+}
+
+func runEpochGrids(cfg *Config) error {
+	header(cfg.Out, "Accuracy vs epoch",
+		"Per-epoch accuracy: lower scan groups do not raise accuracy at equal epochs (no regularizer effect)")
+	for _, p := range []synth.Profile{synth.Cars, synth.HAM10000} {
+		set, err := cfg.pcrSet(p)
+		if err != nil {
+			return err
+		}
+		task := synth.Multiclass(p)
+		for _, m := range nn.Profiles() {
+			fmt.Fprintf(cfg.Out, "%s / %s:\n", p.Name, m.Name)
+			for _, g := range scanGroups {
+				gg := g
+				if gg > set.NumGroups {
+					gg = set.NumGroups
+				}
+				res, err := runOne(cfg, p, m, task, gg)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(cfg.Out, "  %-9s:", groupLabel(g, set.NumGroups))
+				for _, pt := range res.Points {
+					if pt.Sampled {
+						fmt.Fprintf(cfg.Out, " (ep%d, %.1f%%)", pt.Epoch, pt.TestAcc*100)
+					}
+				}
+				fmt.Fprintln(cfg.Out)
+			}
+		}
+	}
+	return nil
+}

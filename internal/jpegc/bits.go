@@ -1,0 +1,130 @@
+package jpegc
+
+import "bytes"
+
+// bitWriter emits an MSB-first bit stream with JPEG byte stuffing: every
+// 0xFF data byte is followed by a 0x00 stuff byte so decoders can
+// distinguish entropy-coded data from markers.
+type bitWriter struct {
+	buf  *bytes.Buffer
+	acc  uint32 // pending bits, left-aligned within nbits
+	nbit uint   // number of pending bits in acc
+}
+
+func newBitWriter(buf *bytes.Buffer) *bitWriter {
+	return &bitWriter{buf: buf}
+}
+
+// writeBits appends the low n bits of v, most significant first. n may be 0.
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	if n == 0 {
+		return
+	}
+	w.acc = (w.acc << n) | (v & ((1 << n) - 1))
+	w.nbit += n
+	for w.nbit >= 8 {
+		b := byte(w.acc >> (w.nbit - 8))
+		w.buf.WriteByte(b)
+		if b == 0xFF {
+			w.buf.WriteByte(0x00)
+		}
+		w.nbit -= 8
+	}
+}
+
+// flush pads the final partial byte with 1 bits (the JPEG convention) and
+// emits it.
+func (w *bitWriter) flush() {
+	if w.nbit > 0 {
+		pad := 8 - w.nbit
+		w.writeBits((1<<pad)-1, pad)
+	}
+}
+
+// bitReader consumes an MSB-first bit stream from de-stuffed entropy-coded
+// data. It reports exhaustion via ok=false rather than error values so the
+// hot decode loop stays branch-light; callers check err() once per scan.
+type bitReader struct {
+	data []byte
+	pos  int
+	acc  uint32
+	nbit uint
+	eof  bool
+}
+
+func newBitReader(data []byte) *bitReader {
+	return &bitReader{data: data}
+}
+
+func (r *bitReader) fill() {
+	for r.nbit <= 24 {
+		if r.pos >= len(r.data) {
+			// Past the end of the scan: feed zero bits. JPEG decoders
+			// conventionally tolerate this (libjpeg inserts 1-bits; zeros
+			// are equally safe for our own well-formed streams, where the
+			// only bits read past the payload are flush padding).
+			r.eof = true
+			r.acc <<= 8
+			r.nbit += 8
+			continue
+		}
+		r.acc = (r.acc << 8) | uint32(r.data[r.pos])
+		r.pos++
+		r.nbit += 8
+	}
+}
+
+// readBit returns the next bit.
+func (r *bitReader) readBit() uint32 {
+	return r.readBits(1)
+}
+
+// readBits returns the next n bits MSB-first. n must be ≤ 16.
+func (r *bitReader) readBits(n uint) uint32 {
+	if n == 0 {
+		return 0
+	}
+	if r.nbit < n {
+		r.fill()
+	}
+	v := (r.acc >> (r.nbit - n)) & ((1 << n) - 1)
+	r.nbit -= n
+	return v
+}
+
+// overrun reports whether the reader was asked for bits beyond the payload.
+func (r *bitReader) overrun() bool { return r.eof }
+
+// destuff removes 0x00 stuff bytes that follow 0xFF in entropy-coded data.
+// It stops at a marker (0xFF followed by a non-zero byte) and returns the
+// de-stuffed payload plus the number of input bytes consumed up to (not
+// including) the marker.
+func destuff(data []byte) (payload []byte, consumed int) {
+	out := make([]byte, 0, len(data))
+	i := 0
+	for i < len(data) {
+		b := data[i]
+		if b != 0xFF {
+			out = append(out, b)
+			i++
+			continue
+		}
+		if i+1 >= len(data) {
+			// Trailing 0xFF with nothing after it: treat as data end.
+			return out, i
+		}
+		next := data[i+1]
+		switch {
+		case next == 0x00:
+			out = append(out, 0xFF)
+			i += 2
+		case next == 0xFF:
+			// Fill byte; skip one 0xFF and re-examine.
+			i++
+		default:
+			// A real marker terminates the entropy-coded segment.
+			return out, i
+		}
+	}
+	return out, i
+}

@@ -1,0 +1,382 @@
+package jpegc
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// Options control encoding.
+type Options struct {
+	// Quality is the JPEG quality setting in [1, 100]; 0 means 75.
+	Quality int
+	// Progressive selects progressive (SOF2) encoding with ScanScript (or
+	// the default script when nil). False produces a baseline (SOF0) stream.
+	Progressive bool
+	// ScanScript overrides the progressive scan script.
+	ScanScript []ScanSpec
+	// Grayscale forces single-component encoding even for color inputs.
+	Grayscale bool
+	// Subsample420 encodes color images with 4:2:0 chroma subsampling
+	// (the convention of virtually all photographic JPEG). Ignored for
+	// grayscale.
+	Subsample420 bool
+	// OptimizeHuffman computes optimal Huffman tables for baseline scans.
+	// Progressive scans always use optimized tables (the Annex K defaults
+	// lack the EOBn symbols progressive coding requires).
+	OptimizeHuffman bool
+}
+
+func (o *Options) quality() int {
+	if o == nil || o.Quality == 0 {
+		return 75
+	}
+	return o.Quality
+}
+
+// Analyze converts an image into its quantized DCT coefficient
+// representation at the requested quality. This is the lossy step; all
+// entropy-coding paths (baseline, progressive) below it are lossless.
+func Analyze(img image.Image, opts *Options) (*CoeffImage, error) {
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("jpegc: empty image")
+	}
+	gray := false
+	if opts != nil && opts.Grayscale {
+		gray = true
+	}
+	if _, ok := img.(*image.Gray); ok {
+		gray = true
+	}
+
+	luma, chroma := QuantTables(opts.quality())
+	ci := &CoeffImage{Width: w, Height: h}
+	if gray {
+		ci.NumComps = 1
+	} else {
+		ci.NumComps = 3
+		ci.Subsample420 = opts != nil && opts.Subsample420
+	}
+	ci.Quant[0] = luma
+	ci.Quant[1] = chroma
+
+	// Extract full-resolution component planes.
+	full := make([][]uint8, ci.NumComps)
+	for c := range full {
+		full[c] = make([]uint8, w*h)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r, g, bb, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			r8, g8, b8 := uint8(r>>8), uint8(g>>8), uint8(bb>>8)
+			if gray {
+				yy := color.GrayModel.Convert(color.RGBA{r8, g8, b8, 255}).(color.Gray).Y
+				full[0][y*w+x] = yy
+			} else {
+				yy, cb, cr := color.RGBToYCbCr(r8, g8, b8)
+				full[0][y*w+x] = yy
+				full[1][y*w+x] = cb
+				full[2][y*w+x] = cr
+			}
+		}
+	}
+
+	for c := 0; c < ci.NumComps; c++ {
+		quant := &ci.Quant[0]
+		if c > 0 {
+			quant = &ci.Quant[1]
+		}
+		// Component plane at its sampled resolution, edge-replicated to
+		// block boundaries. Chroma under 4:2:0 is a 2×2 box average.
+		cw, ch := ci.compSize(c)
+		bw, bh := ci.CompBlocksWide(c), ci.CompBlocksHigh(c)
+		pw, ph := bw*8, bh*8
+		plane := make([]uint8, pw*ph)
+		sub := ci.Subsample420 && c > 0
+		for y := 0; y < ph; y++ {
+			sy := min(y, ch-1)
+			for x := 0; x < pw; x++ {
+				sx := min(x, cw-1)
+				if !sub {
+					plane[y*pw+x] = full[c][sy*w+sx]
+					continue
+				}
+				x0, y0 := 2*sx, 2*sy
+				x1, y1 := min(x0+1, w-1), min(y0+1, h-1)
+				sum := int(full[c][y0*w+x0]) + int(full[c][y0*w+x1]) +
+					int(full[c][y1*w+x0]) + int(full[c][y1*w+x1])
+				plane[y*pw+x] = uint8((sum + 2) / 4)
+			}
+		}
+
+		ci.Blocks[c] = make([]Block, bw*bh)
+		var fb [64]float64
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						fb[y*8+x] = float64(plane[(by*8+y)*pw+bx*8+x]) - 128
+					}
+				}
+				fdct(&fb)
+				blk := &ci.Blocks[c][by*bw+bx]
+				for k := 0; k < 64; k++ {
+					q := float64(quant[k])
+					v := fb[k] / q
+					// Round to nearest, ties away from zero.
+					if v >= 0 {
+						blk[k] = int32(v + 0.5)
+					} else {
+						blk[k] = int32(v - 0.5)
+					}
+				}
+			}
+		}
+	}
+	return ci, nil
+}
+
+// Encode compresses img with the given options and returns the JPEG stream.
+func Encode(img image.Image, opts *Options) ([]byte, error) {
+	ci, err := Analyze(img, opts)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeCoeffs(ci, opts)
+}
+
+// EncodeCoeffs entropy-codes an existing coefficient image. This is the
+// lossless half of the codec: EncodeCoeffs followed by DecodeCoeffs returns
+// an identical CoeffImage regardless of baseline/progressive mode.
+func EncodeCoeffs(ci *CoeffImage, opts *Options) ([]byte, error) {
+	if err := ci.validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	writeHeaders(&buf, ci, opts)
+	if opts != nil && opts.Progressive {
+		script := opts.ScanScript
+		if script == nil {
+			script = DefaultScanScript(ci.NumComps)
+		}
+		if err := validateScript(script, ci.NumComps); err != nil {
+			return nil, err
+		}
+		enc := newProgEncoder(ci)
+		for _, scan := range script {
+			if err := enc.writeScan(&buf, scan); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		optimize := opts != nil && opts.OptimizeHuffman
+		if err := writeBaselineScan(&buf, ci, optimize); err != nil {
+			return nil, err
+		}
+	}
+	buf.Write([]byte{0xFF, mEOI})
+	return buf.Bytes(), nil
+}
+
+func writeSegment(buf *bytes.Buffer, marker byte, payload []byte) {
+	buf.WriteByte(0xFF)
+	buf.WriteByte(marker)
+	n := len(payload) + 2
+	buf.WriteByte(byte(n >> 8))
+	buf.WriteByte(byte(n))
+	buf.Write(payload)
+}
+
+func writeHeaders(buf *bytes.Buffer, ci *CoeffImage, opts *Options) {
+	buf.Write([]byte{0xFF, mSOI})
+
+	// JFIF APP0.
+	writeSegment(buf, mAPP0, []byte{'J', 'F', 'I', 'F', 0, 1, 2, 0, 0, 1, 0, 1, 0, 0})
+
+	// DQT: table 0 (luma), and table 1 (chroma) for color.
+	nq := 1
+	if ci.NumComps == 3 {
+		nq = 2
+	}
+	for t := 0; t < nq; t++ {
+		payload := make([]byte, 1+64)
+		payload[0] = byte(t) // 8-bit precision, table id t
+		for zz := 0; zz < 64; zz++ {
+			payload[1+zz] = byte(ci.Quant[t][zigzag[zz]])
+		}
+		writeSegment(buf, mDQT, payload)
+	}
+
+	// SOF0 or SOF2.
+	sof := byte(mSOF0)
+	if opts != nil && opts.Progressive {
+		sof = mSOF2
+	}
+	payload := make([]byte, 6+3*ci.NumComps)
+	payload[0] = 8 // precision
+	payload[1] = byte(ci.Height >> 8)
+	payload[2] = byte(ci.Height)
+	payload[3] = byte(ci.Width >> 8)
+	payload[4] = byte(ci.Width)
+	payload[5] = byte(ci.NumComps)
+	ids := [3]byte{compY, compCb, compCr}
+	for c := 0; c < ci.NumComps; c++ {
+		payload[6+3*c] = ids[c]
+		h, v := ci.sampling(c)
+		payload[7+3*c] = byte(h)<<4 | byte(v)
+		qt := byte(0)
+		if c > 0 {
+			qt = 1
+		}
+		payload[8+3*c] = qt
+	}
+	writeSegment(buf, sof, payload)
+}
+
+// writeDHT emits one or more Huffman tables in a single DHT segment.
+// class 0 = DC, 1 = AC; id is the table slot.
+type dhtEntry struct {
+	class, id byte
+	spec      *huffSpec
+}
+
+func writeDHT(buf *bytes.Buffer, entries []dhtEntry) {
+	var payload []byte
+	for _, e := range entries {
+		payload = append(payload, e.class<<4|e.id)
+		payload = append(payload, e.spec.bits[:]...)
+		payload = append(payload, e.spec.vals...)
+	}
+	writeSegment(buf, mDHT, payload)
+}
+
+// writeSOS emits the scan header for the given scan spec.
+func writeSOS(buf *bytes.Buffer, ci *CoeffImage, scan ScanSpec, dcTable, acTable func(comp int) byte) {
+	ids := [3]byte{compY, compCb, compCr}
+	payload := []byte{byte(len(scan.Comps))}
+	for _, c := range scan.Comps {
+		payload = append(payload, ids[c], dcTable(c)<<4|acTable(c))
+	}
+	payload = append(payload, byte(scan.Ss), byte(scan.Se), byte(scan.Ah<<4|scan.Al))
+	writeSegment(buf, mSOS, payload)
+}
+
+// --- Baseline scan ---------------------------------------------------------
+
+// baselineWalk walks the blocks of a full baseline scan in interleaved MCU
+// order, invoking emit for every Huffman symbol. Used both for frequency
+// counting (optimization) and actual emission. MCU padding blocks (4:2:0
+// edges) re-emit the clamped edge block, keeping the DC prediction chain
+// consistent with the decoder.
+func baselineWalk(ci *CoeffImage, emit func(comp int, dc bool, sym byte, bits uint32, nbits uint)) {
+	comps := make([]int, ci.NumComps)
+	for c := range comps {
+		comps[c] = c
+	}
+	prevDC := [3]int32{}
+	ci.forEachMCUBlock(comps, func(c, idx int, pad bool) {
+		blk := &ci.Blocks[c][idx]
+		// DC
+		diff := blk[0] - prevDC[c]
+		prevDC[c] = blk[0]
+		size, bits := magnitude(diff)
+		emit(c, true, byte(size), bits, size)
+		// AC with run-length coding
+		run := 0
+		for zz := 1; zz < 64; zz++ {
+			v := blk[zigzag[zz]]
+			if v == 0 {
+				run++
+				continue
+			}
+			for run > 15 {
+				emit(c, false, 0xF0, 0, 0) // ZRL
+				run -= 16
+			}
+			size, bits := magnitude(v)
+			emit(c, false, byte(run<<4)|byte(size), bits, size)
+			run = 0
+		}
+		if run > 0 {
+			emit(c, false, 0x00, 0, 0) // EOB
+		}
+	})
+}
+
+func writeBaselineScan(buf *bytes.Buffer, ci *CoeffImage, optimize bool) error {
+	var dcSpec, acSpec [2]*huffSpec
+	if optimize {
+		var dcFreq, acFreq [2]freqCounter
+		baselineWalk(ci, func(comp int, dc bool, sym byte, _ uint32, _ uint) {
+			t := 0
+			if comp > 0 {
+				t = 1
+			}
+			if dc {
+				dcFreq[t].count(sym)
+			} else {
+				acFreq[t].count(sym)
+			}
+		})
+		dcSpec[0] = dcFreq[0].buildOptimal()
+		acSpec[0] = acFreq[0].buildOptimal()
+		if ci.NumComps == 3 {
+			dcSpec[1] = dcFreq[1].buildOptimal()
+			acSpec[1] = acFreq[1].buildOptimal()
+		}
+	} else {
+		dcSpec[0], acSpec[0] = &stdDCLuma, &stdACLuma
+		dcSpec[1], acSpec[1] = &stdDCChroma, &stdACChroma
+	}
+
+	entries := []dhtEntry{{0, 0, dcSpec[0]}, {1, 0, acSpec[0]}}
+	if ci.NumComps == 3 {
+		entries = append(entries, dhtEntry{0, 1, dcSpec[1]}, dhtEntry{1, 1, acSpec[1]})
+	}
+	writeDHT(buf, entries)
+
+	var dcEnc, acEnc [2]*huffEncoder
+	var err error
+	for t := 0; t < 2; t++ {
+		if dcSpec[t] == nil {
+			continue
+		}
+		if dcEnc[t], err = buildEncoder(dcSpec[t]); err != nil {
+			return err
+		}
+		if acEnc[t], err = buildEncoder(acSpec[t]); err != nil {
+			return err
+		}
+	}
+
+	comps := make([]int, ci.NumComps)
+	for c := range comps {
+		comps[c] = c
+	}
+	tbl := func(c int) byte {
+		if c > 0 {
+			return 1
+		}
+		return 0
+	}
+	writeSOS(buf, ci, ScanSpec{Comps: comps, Ss: 0, Se: 63}, tbl, tbl)
+
+	w := newBitWriter(buf)
+	baselineWalk(ci, func(comp int, dc bool, sym byte, bits uint32, nbits uint) {
+		t := 0
+		if comp > 0 {
+			t = 1
+		}
+		if dc {
+			dcEnc[t].emit(w, sym)
+		} else {
+			acEnc[t].emit(w, sym)
+		}
+		w.writeBits(bits, nbits)
+	})
+	w.flush()
+	return nil
+}

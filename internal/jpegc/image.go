@@ -1,0 +1,71 @@
+package jpegc
+
+import "image"
+
+// ToImage reconstructs pixels from quantized coefficients: dequantize, IDCT,
+// level shift, clamp. Color images are returned as *image.YCbCr at the
+// stream's native subsampling (4:4:4 or 4:2:0 — the YCbCr type performs
+// chroma upsampling and RGB conversion in At); grayscale as *image.Gray.
+func ToImage(ci *CoeffImage) image.Image {
+	planes := make([][]uint8, ci.NumComps)
+	strides := make([]int, ci.NumComps)
+	var fb [64]float64
+	for c := 0; c < ci.NumComps; c++ {
+		quant := &ci.Quant[0]
+		if c > 0 {
+			quant = &ci.Quant[1]
+		}
+		bw, bh := ci.CompBlocksWide(c), ci.CompBlocksHigh(c)
+		pw, ph := bw*8, bh*8
+		plane := make([]uint8, pw*ph)
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				blk := &ci.Blocks[c][by*bw+bx]
+				for k := 0; k < 64; k++ {
+					fb[k] = float64(blk[k]) * float64(quant[k])
+				}
+				idct(&fb)
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						v := fb[y*8+x] + 128
+						var p uint8
+						switch {
+						case v <= 0:
+							p = 0
+						case v >= 255:
+							p = 255
+						default:
+							p = uint8(v + 0.5)
+						}
+						plane[(by*8+y)*pw+bx*8+x] = p
+					}
+				}
+			}
+		}
+		planes[c] = plane
+		strides[c] = pw
+	}
+
+	rect := image.Rect(0, 0, ci.Width, ci.Height)
+	if ci.NumComps == 1 {
+		img := image.NewGray(rect)
+		for y := 0; y < ci.Height; y++ {
+			copy(img.Pix[y*img.Stride:y*img.Stride+ci.Width], planes[0][y*strides[0]:y*strides[0]+ci.Width])
+		}
+		return img
+	}
+	ratio := image.YCbCrSubsampleRatio444
+	if ci.Subsample420 {
+		ratio = image.YCbCrSubsampleRatio420
+	}
+	img := image.NewYCbCr(rect, ratio)
+	for y := 0; y < ci.Height; y++ {
+		copy(img.Y[y*img.YStride:y*img.YStride+ci.Width], planes[0][y*strides[0]:y*strides[0]+ci.Width])
+	}
+	cw, ch := ci.compSize(1)
+	for y := 0; y < ch; y++ {
+		copy(img.Cb[y*img.CStride:y*img.CStride+cw], planes[1][y*strides[1]:y*strides[1]+cw])
+		copy(img.Cr[y*img.CStride:y*img.CStride+cw], planes[2][y*strides[2]:y*strides[2]+cw])
+	}
+	return img
+}

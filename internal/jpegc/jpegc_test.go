@@ -1,0 +1,569 @@
+package jpegc
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	stdjpeg "image/jpeg"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testImage produces a deterministic color image mixing smooth gradients,
+// sinusoidal texture, and noise — enough spectral variety to exercise every
+// scan of the progressive script.
+func testImage(w, h int, seed int64) *image.RGBA {
+	rng := rand.New(rand.NewSource(seed))
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x), float64(y)
+			r := 128 + 100*math.Sin(fx/9)*math.Cos(fy/13)
+			g := 128 + 80*math.Sin((fx+fy)/7)
+			b := float64(x*255/w+y*255/h) / 2
+			n := rng.Float64()*30 - 15
+			img.Set(x, y, color.RGBA{clamp8(r + n), clamp8(g + n), clamp8(b + n), 255})
+		}
+	}
+	return img
+}
+
+func testGray(w, h int, seed int64) *image.Gray {
+	rng := rand.New(rand.NewSource(seed))
+	img := image.NewGray(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 128 + 90*math.Sin(float64(x)/5)*math.Cos(float64(y)/8) + rng.Float64()*20 - 10
+			img.SetGray(x, y, color.Gray{Y: clamp8(v)})
+		}
+	}
+	return img
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var b, orig [64]float64
+		for i := range b {
+			b[i] = rng.Float64()*255 - 128
+			orig[i] = b[i]
+		}
+		fdct(&b)
+		idct(&b)
+		for i := range b {
+			if math.Abs(b[i]-orig[i]) > 1e-9 {
+				t.Fatalf("trial %d: idct(fdct(x))[%d] = %v, want %v", trial, i, b[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestDCTDCTerm(t *testing.T) {
+	// A constant block must concentrate all energy in the DC term.
+	var b [64]float64
+	for i := range b {
+		b[i] = 100
+	}
+	fdct(&b)
+	if math.Abs(b[0]-800) > 1e-9 { // 8 * 100
+		t.Errorf("DC term = %v, want 800", b[0])
+	}
+	for i := 1; i < 64; i++ {
+		if math.Abs(b[i]) > 1e-9 {
+			t.Errorf("AC term %d = %v, want 0", i, b[i])
+		}
+	}
+}
+
+func TestQuantTablesMonotone(t *testing.T) {
+	prev, _ := QuantTables(10)
+	for q := 20; q <= 100; q += 10 {
+		cur, _ := QuantTables(q)
+		for i := range cur {
+			if cur[i] > prev[i] {
+				t.Fatalf("quality %d: quant[%d]=%d exceeds lower-quality value %d", q, i, cur[i], prev[i])
+			}
+		}
+		prev = cur
+	}
+	q100, _ := QuantTables(100)
+	for i, v := range q100 {
+		if v != 1 {
+			t.Errorf("quality 100: quant[%d]=%d, want 1", i, v)
+		}
+	}
+}
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	w := newBitWriter(&buf)
+	type item struct {
+		v uint32
+		n uint
+	}
+	var items []item
+	for i := 0; i < 2000; i++ {
+		n := uint(rng.Intn(16) + 1)
+		v := uint32(rng.Intn(1 << n))
+		items = append(items, item{v, n})
+		w.writeBits(v, n)
+	}
+	w.flush()
+	payload, _ := destuff(buf.Bytes())
+	r := newBitReader(payload)
+	for i, it := range items {
+		if got := r.readBits(it.n); got != it.v {
+			t.Fatalf("item %d: read %d, want %d", i, got, it.v)
+		}
+	}
+}
+
+func TestDestuffStopsAtMarker(t *testing.T) {
+	data := []byte{0x12, 0xFF, 0x00, 0x34, 0xFF, 0xD9}
+	payload, consumed := destuff(data)
+	if !bytes.Equal(payload, []byte{0x12, 0xFF, 0x34}) {
+		t.Errorf("payload = %x", payload)
+	}
+	if consumed != 4 {
+		t.Errorf("consumed = %d, want 4", consumed)
+	}
+}
+
+func TestHuffmanEncodeDecodeRoundTrip(t *testing.T) {
+	for _, spec := range []*huffSpec{&stdDCLuma, &stdDCChroma, &stdACLuma, &stdACChroma} {
+		enc, err := buildEncoder(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := buildDecoder(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		w := newBitWriter(&buf)
+		for _, sym := range spec.vals {
+			enc.emit(w, sym)
+		}
+		w.flush()
+		payload, _ := destuff(buf.Bytes())
+		r := newBitReader(payload)
+		for i, want := range spec.vals {
+			got, err := dec.decode(r)
+			if err != nil {
+				t.Fatalf("symbol %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("symbol %d: got %#x, want %#x", i, got, want)
+			}
+		}
+	}
+}
+
+func TestHuffmanOptimizerValidAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		var f freqCounter
+		nsyms := rng.Intn(200) + 1
+		seen := map[byte]bool{}
+		for i := 0; i < nsyms; i++ {
+			s := byte(rng.Intn(256))
+			f[s] += int64(rng.Intn(1000) + 1)
+			seen[s] = true
+		}
+		spec := f.buildOptimal()
+		enc, err := buildEncoder(spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every counted symbol must receive a code.
+		for s := range seen {
+			if enc.size[s] == 0 {
+				t.Fatalf("trial %d: symbol %#x got no code", trial, s)
+			}
+		}
+		// Kraft inequality must hold strictly (no all-ones code used).
+		var kraft float64
+		for l := 1; l <= 16; l++ {
+			kraft += float64(spec.bits[l-1]) / float64(uint64(1)<<uint(l))
+		}
+		if kraft > 1 {
+			t.Fatalf("trial %d: kraft sum %v > 1", trial, kraft)
+		}
+		// And a round trip must work.
+		dec, err := buildDecoder(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		w := newBitWriter(&buf)
+		var emitted []byte
+		for s := range seen {
+			enc.emit(w, s)
+			emitted = append(emitted, s)
+		}
+		w.flush()
+		payload, _ := destuff(buf.Bytes())
+		r := newBitReader(payload)
+		for i, want := range emitted {
+			got, err := dec.decode(r)
+			if err != nil || got != want {
+				t.Fatalf("trial %d symbol %d: got %#x err %v, want %#x", trial, i, got, err, want)
+			}
+		}
+	}
+}
+
+func TestHuffmanOptimizerSingleSymbol(t *testing.T) {
+	var f freqCounter
+	f.count(0x42)
+	spec := f.buildOptimal()
+	enc, err := buildEncoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.size[0x42] == 0 {
+		t.Fatal("single symbol got no code")
+	}
+}
+
+func TestMagnitudeExtendInverse(t *testing.T) {
+	for v := int32(-2047); v <= 2047; v++ {
+		size, bits := magnitude(v)
+		if got := extend(bits, size); got != v {
+			t.Fatalf("extend(magnitude(%d)) = %d", v, got)
+		}
+	}
+}
+
+func encodings(t *testing.T) map[string]*Options {
+	t.Helper()
+	return map[string]*Options{
+		"baseline":           {Quality: 80},
+		"baseline-optimized": {Quality: 80, OptimizeHuffman: true},
+		"progressive":        {Quality: 80, Progressive: true},
+	}
+}
+
+func TestCoeffRoundTripColor(t *testing.T) {
+	img := testImage(67, 45, 11) // non-multiple-of-8 dimensions on purpose
+	for name, opts := range encodings(t) {
+		t.Run(name, func(t *testing.T) {
+			ci, err := Analyze(img, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := EncodeCoeffs(ci, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeCoeffs(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(ci) {
+				t.Fatal("coefficients changed across encode/decode")
+			}
+		})
+	}
+}
+
+func TestCoeffRoundTripGray(t *testing.T) {
+	img := testGray(40, 56, 5)
+	for name, opts := range encodings(t) {
+		t.Run(name, func(t *testing.T) {
+			ci, err := Analyze(img, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ci.NumComps != 1 {
+				t.Fatalf("NumComps = %d, want 1", ci.NumComps)
+			}
+			data, err := EncodeCoeffs(ci, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeCoeffs(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(ci) {
+				t.Fatal("coefficients changed across encode/decode")
+			}
+		})
+	}
+}
+
+// TestStdlibInterop verifies that the standard library's decoder accepts our
+// streams and reconstructs the same pixels our decoder does.
+func TestStdlibInterop(t *testing.T) {
+	img := testImage(64, 64, 21)
+	for name, opts := range encodings(t) {
+		t.Run(name, func(t *testing.T) {
+			data, err := Encode(img, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stdImg, err := stdjpeg.Decode(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("stdlib refused our stream: %v", err)
+			}
+			ourImg, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Compare pixel-wise with a tolerance of 1 (stdlib uses scaled
+			// integer IDCT; we use float).
+			diff := maxPixelDiff(t, stdImg, ourImg)
+			if diff > 2 {
+				t.Errorf("max pixel difference vs stdlib = %d", diff)
+			}
+		})
+	}
+}
+
+func maxPixelDiff(t *testing.T, a, b image.Image) int {
+	t.Helper()
+	ab, bb := a.Bounds(), b.Bounds()
+	if ab.Dx() != bb.Dx() || ab.Dy() != bb.Dy() {
+		t.Fatalf("bounds mismatch: %v vs %v", ab, bb)
+	}
+	max := 0
+	for y := 0; y < ab.Dy(); y++ {
+		for x := 0; x < ab.Dx(); x++ {
+			ar, ag, abl, _ := a.At(ab.Min.X+x, ab.Min.Y+y).RGBA()
+			br, bg, bbl, _ := b.At(bb.Min.X+x, bb.Min.Y+y).RGBA()
+			for _, d := range []int{int(ar>>8) - int(br>>8), int(ag>>8) - int(bg>>8), int(abl>>8) - int(bbl>>8)} {
+				if d < 0 {
+					d = -d
+				}
+				if d > max {
+					max = d
+				}
+			}
+		}
+	}
+	return max
+}
+
+func TestTranscodeLossless(t *testing.T) {
+	img := testImage(80, 60, 31)
+	base, err := Encode(img, &Options{Quality: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Transcode(base, &Options{Progressive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciBase, err := DecodeCoeffs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciProg, err := DecodeCoeffs(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ciProg.Equal(ciBase) {
+		t.Fatal("transcode is not lossless")
+	}
+	// And back again.
+	back, err := Transcode(prog, &Options{OptimizeHuffman: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciBack, err := DecodeCoeffs(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ciBack.Equal(ciBase) {
+		t.Fatal("round-trip transcode is not lossless")
+	}
+}
+
+func TestIndexScansProgressive(t *testing.T) {
+	img := testImage(64, 48, 41)
+	prog, err := Encode(img, &Options{Quality: 80, Progressive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := IndexScans(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Progressive {
+		t.Error("stream not flagged progressive")
+	}
+	if len(idx.Scans) != 10 {
+		t.Fatalf("scan count = %d, want 10", len(idx.Scans))
+	}
+	if idx.Width != 64 || idx.Height != 48 || idx.NumComps != 3 {
+		t.Errorf("geometry = %dx%d/%d comps", idx.Width, idx.Height, idx.NumComps)
+	}
+	// Scan byte ranges must tile the stream exactly: header, scans, EOI.
+	pos := idx.HeaderLen
+	for i, s := range idx.Scans {
+		if s.Offset != pos {
+			t.Fatalf("scan %d offset %d, want %d", i, s.Offset, pos)
+		}
+		pos += s.Length
+	}
+	if pos+2 != len(prog) {
+		t.Errorf("scans end at %d, stream has %d bytes (want EOI only after scans)", pos, len(prog))
+	}
+	// Spec of the first scan must be the interleaved DC scan.
+	first := idx.Scans[0].Spec
+	if first.Ss != 0 || first.Se != 0 || first.Ah != 0 || len(first.Comps) != 3 {
+		t.Errorf("first scan spec = %+v", first)
+	}
+}
+
+func TestTruncatedPrefixesDecode(t *testing.T) {
+	img := testImage(64, 64, 51)
+	prog, err := Encode(img, &Options{Quality: 85, Progressive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := IndexScans(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevErr float64 = math.Inf(1)
+	for n := 1; n <= len(idx.Scans); n++ {
+		trunc, err := TruncateToScan(prog, idx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(trunc)
+		if err != nil {
+			t.Fatalf("scan prefix %d: decode: %v", n, err)
+		}
+		// stdlib must also accept the truncated stream.
+		if _, err := stdjpeg.Decode(bytes.NewReader(trunc)); err != nil {
+			t.Fatalf("scan prefix %d: stdlib decode: %v", n, err)
+		}
+		e := meanAbsErr(got, full)
+		if n == len(idx.Scans) && e != 0 {
+			t.Errorf("full prefix differs from full decode (MAE %v)", e)
+		}
+		// Mean error must broadly shrink as scans accumulate (allow small
+		// non-monotonic wiggle from chroma ordering).
+		if e > prevErr+3 {
+			t.Errorf("scan prefix %d: MAE %v worse than previous %v", n, e, prevErr)
+		}
+		if e < prevErr {
+			prevErr = e
+		}
+	}
+}
+
+func meanAbsErr(a, b image.Image) float64 {
+	ab := a.Bounds()
+	var sum float64
+	var n int
+	for y := 0; y < ab.Dy(); y++ {
+		for x := 0; x < ab.Dx(); x++ {
+			ar, ag, abl, _ := a.At(x, y).RGBA()
+			br, bg, bbl, _ := b.At(x, y).RGBA()
+			for _, d := range []int{int(ar>>8) - int(br>>8), int(ag>>8) - int(bg>>8), int(abl>>8) - int(bbl>>8)} {
+				if d < 0 {
+					d = -d
+				}
+				sum += float64(d)
+				n++
+			}
+		}
+	}
+	return sum / float64(n)
+}
+
+func TestProgressiveSizeNearBaseline(t *testing.T) {
+	// The paper observes progressive size within ~5% of baseline (often
+	// smaller). Check we are in that ballpark.
+	img := testImage(128, 128, 61)
+	base, err := Encode(img, &Options{Quality: 80, OptimizeHuffman: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Encode(img, &Options{Quality: 80, Progressive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(prog)) / float64(len(base))
+	if ratio > 1.10 || ratio < 0.5 {
+		t.Errorf("progressive/baseline size ratio = %.3f (prog %d, base %d)", ratio, len(prog), len(base))
+	}
+}
+
+func TestValidateScriptRejectsBadScripts(t *testing.T) {
+	bad := [][]ScanSpec{
+		{{Comps: []int{0}, Ss: 1, Se: 0}},                                  // inverted band
+		{{Comps: []int{0, 1}, Ss: 1, Se: 5}},                               // interleaved AC
+		{{Comps: []int{0}, Ss: 0, Se: 0, Ah: 2, Al: 0}},                    // bad refinement step
+		{{Comps: []int{5}, Ss: 0, Se: 0}},                                  // bad component
+		{{Comps: []int{0}, Ss: 0, Se: 63}},                                 // DC+AC in one progressive scan
+		{{Comps: []int{0}, Ss: 1, Se: 5}, {Comps: []int{0}, Ss: 1, Se: 5}}, // double coding
+	}
+	for i, script := range bad {
+		if err := validateScript(script, 3); err == nil {
+			t.Errorf("script %d accepted, want error", i)
+		}
+	}
+	if err := validateScript(DefaultScanScript(3), 3); err != nil {
+		t.Errorf("default color script rejected: %v", err)
+	}
+	if err := validateScript(DefaultScanScript(1), 1); err != nil {
+		t.Errorf("default gray script rejected: %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCoeffs([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodeCoeffs(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestDecodeTruncatedStreamReportsError(t *testing.T) {
+	img := testImage(32, 32, 71)
+	data, err := Encode(img, &Options{Quality: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DecodeCoeffs(data[:len(data)-2]) // strip EOI
+	if err != ErrTruncated {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestQuality100NearLossless(t *testing.T) {
+	img := testImage(48, 48, 81)
+	data, err := Encode(img, &Options{Quality: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := meanAbsErr(got, img); e > 3.5 {
+		t.Errorf("quality-100 MAE = %v (color conversion + rounding only)", e)
+	}
+}

@@ -1,0 +1,111 @@
+package jpegc
+
+import "fmt"
+
+// JPEG marker codes (second byte after 0xFF).
+const (
+	mSOF0 = 0xC0 // baseline sequential DCT
+	mSOF2 = 0xC2 // progressive DCT
+	mDHT  = 0xC4 // define Huffman tables
+	mRST0 = 0xD0 // restart interval markers D0–D7
+	mSOI  = 0xD8 // start of image
+	mEOI  = 0xD9 // end of image
+	mSOS  = 0xDA // start of scan
+	mDQT  = 0xDB // define quantization tables
+	mDRI  = 0xDD // define restart interval
+	mAPP0 = 0xE0 // JFIF
+	mCOM  = 0xFE // comment
+)
+
+// ScanSpec describes one scan of a scan script: which components it codes
+// and its spectral-selection / successive-approximation parameters.
+type ScanSpec struct {
+	// Comps lists component indices (0-based) coded by this scan. DC scans
+	// may interleave several components; AC scans must name exactly one.
+	Comps []int
+	// Ss and Se delimit the coefficient band in zigzag order (0..63).
+	Ss, Se int
+	// Ah and Al are the successive-approximation bit positions: Ah is the
+	// previous point-transform (0 on a first pass), Al the current one.
+	Ah, Al int
+}
+
+// isDC reports whether the scan codes the DC band.
+func (s ScanSpec) isDC() bool { return s.Ss == 0 }
+
+// DefaultScanScript returns the progressive scan script used by libjpeg's
+// jpeg_simple_progression for the given component count: 10 scans for color
+// images, 6 for grayscale. PCRs map these scans 1:1 onto scan groups.
+func DefaultScanScript(numComps int) []ScanSpec {
+	if numComps == 1 {
+		return []ScanSpec{
+			{Comps: []int{0}, Ss: 0, Se: 0, Ah: 0, Al: 1},
+			{Comps: []int{0}, Ss: 1, Se: 5, Ah: 0, Al: 2},
+			{Comps: []int{0}, Ss: 6, Se: 63, Ah: 0, Al: 2},
+			{Comps: []int{0}, Ss: 1, Se: 63, Ah: 2, Al: 1},
+			{Comps: []int{0}, Ss: 0, Se: 0, Ah: 1, Al: 0},
+			{Comps: []int{0}, Ss: 1, Se: 63, Ah: 1, Al: 0},
+		}
+	}
+	return []ScanSpec{
+		{Comps: []int{0, 1, 2}, Ss: 0, Se: 0, Ah: 0, Al: 1}, // 1: DC, coarse
+		{Comps: []int{0}, Ss: 1, Se: 5, Ah: 0, Al: 2},       // 2: Y low AC
+		{Comps: []int{2}, Ss: 1, Se: 63, Ah: 0, Al: 1},      // 3: Cr all AC
+		{Comps: []int{1}, Ss: 1, Se: 63, Ah: 0, Al: 1},      // 4: Cb all AC
+		{Comps: []int{0}, Ss: 6, Se: 63, Ah: 0, Al: 2},      // 5: Y high AC
+		{Comps: []int{0}, Ss: 1, Se: 63, Ah: 2, Al: 1},      // 6: Y AC refine
+		{Comps: []int{0, 1, 2}, Ss: 0, Se: 0, Ah: 1, Al: 0}, // 7: DC refine
+		{Comps: []int{2}, Ss: 1, Se: 63, Ah: 1, Al: 0},      // 8: Cr AC refine
+		{Comps: []int{1}, Ss: 1, Se: 63, Ah: 1, Al: 0},      // 9: Cb AC refine
+		{Comps: []int{0}, Ss: 1, Se: 63, Ah: 1, Al: 0},      // 10: Y AC refine
+	}
+}
+
+// validateScript checks that a scan script is legal for the component count
+// and covers every coefficient bit exactly once per component.
+func validateScript(script []ScanSpec, numComps int) error {
+	// state[c][k] holds the precision delivered so far for coefficient k of
+	// component c: the lowest Al reached, or -1 if untouched.
+	state := make([][64]int, numComps)
+	for c := range state {
+		for k := range state[c] {
+			state[c][k] = -1
+		}
+	}
+	for i, s := range script {
+		if s.Ss < 0 || s.Se > 63 || s.Ss > s.Se {
+			return errScript(i, "bad spectral band")
+		}
+		if s.isDC() {
+			if s.Se != 0 {
+				return errScript(i, "DC scan must have Se=0")
+			}
+		} else if len(s.Comps) != 1 {
+			return errScript(i, "AC scan must code exactly one component")
+		}
+		if s.Ah != 0 && s.Ah != s.Al+1 {
+			return errScript(i, "refinement must lower Al by exactly one bit")
+		}
+		for _, c := range s.Comps {
+			if c < 0 || c >= numComps {
+				return errScript(i, "component out of range")
+			}
+			for k := s.Ss; k <= s.Se; k++ {
+				prev := state[c][k]
+				if s.Ah == 0 {
+					if prev != -1 {
+						return errScript(i, "coefficient coded twice in first passes")
+					}
+				} else if prev != s.Ah {
+					return errScript(i, "refinement pass does not follow previous precision")
+				}
+				state[c][k] = s.Al
+			}
+		}
+	}
+	return nil
+}
+
+func errScript(i int, msg string) error {
+	return fmt.Errorf("jpegc: scan script: scan %d: %s", i+1, msg)
+}

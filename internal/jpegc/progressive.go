@@ -1,0 +1,317 @@
+package jpegc
+
+import "bytes"
+
+// maxCorrBits bounds the buffered AC-refinement correction bits attached to
+// a pending EOB run (libjpeg's MAX_CORR_BITS safeguard).
+const maxCorrBits = 937
+
+// symbolSink receives the entropy-coding events of one scan. The encoder
+// walks each scan twice with identical control flow: a stats pass (counting
+// symbols to build optimal Huffman tables) and an emit pass.
+type symbolSink interface {
+	// symbol emits a Huffman-coded symbol through table slot t (0 or 1).
+	symbol(t int, sym byte)
+	// bits emits n raw bits.
+	bits(v uint32, n uint)
+}
+
+type statsSink struct {
+	dc, ac [2]*freqCounter
+	isDC   bool
+}
+
+func (s *statsSink) symbol(t int, sym byte) {
+	if s.isDC {
+		s.dc[t].count(sym)
+	} else {
+		s.ac[t].count(sym)
+	}
+}
+func (s *statsSink) bits(uint32, uint) {}
+
+type writeSink struct {
+	w      *bitWriter
+	dc, ac [2]*huffEncoder
+	isDC   bool
+}
+
+func (s *writeSink) symbol(t int, sym byte) {
+	if s.isDC {
+		s.dc[t].emit(s.w, sym)
+	} else {
+		s.ac[t].emit(s.w, sym)
+	}
+}
+func (s *writeSink) bits(v uint32, n uint) { s.w.writeBits(v, n) }
+
+// progEncoder entropy-codes a coefficient image scan by scan.
+type progEncoder struct {
+	ci *CoeffImage
+}
+
+func newProgEncoder(ci *CoeffImage) *progEncoder {
+	return &progEncoder{ci: ci}
+}
+
+// tableSlot maps a component to its Huffman table slot: luma uses slot 0,
+// chroma slot 1.
+func tableSlot(comp int) int {
+	if comp > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeScan emits the DHT (when Huffman tables are needed), SOS header, and
+// entropy-coded data for one scan of the script.
+func (e *progEncoder) writeScan(buf *bytes.Buffer, scan ScanSpec) error {
+	dcRefine := scan.isDC() && scan.Ah > 0
+
+	var dcSpec, acSpec [2]*huffSpec
+	var dcEnc, acEnc [2]*huffEncoder
+	if !dcRefine {
+		// Stats pass.
+		stats := &statsSink{isDC: scan.isDC()}
+		for t := 0; t < 2; t++ {
+			stats.dc[t] = &freqCounter{}
+			stats.ac[t] = &freqCounter{}
+		}
+		if err := e.walkScan(scan, stats); err != nil {
+			return err
+		}
+		var entries []dhtEntry
+		slots := map[int]bool{}
+		for _, c := range scan.Comps {
+			slots[tableSlot(c)] = true
+		}
+		var err error
+		for t := 0; t < 2; t++ {
+			if !slots[t] {
+				continue
+			}
+			if scan.isDC() {
+				dcSpec[t] = stats.dc[t].buildOptimal()
+				if dcEnc[t], err = buildEncoder(dcSpec[t]); err != nil {
+					return err
+				}
+				entries = append(entries, dhtEntry{0, byte(t), dcSpec[t]})
+			} else {
+				acSpec[t] = stats.ac[t].buildOptimal()
+				if acEnc[t], err = buildEncoder(acSpec[t]); err != nil {
+					return err
+				}
+				entries = append(entries, dhtEntry{1, byte(t), acSpec[t]})
+			}
+		}
+		writeDHT(buf, entries)
+	}
+
+	dcTab := func(c int) byte {
+		if scan.isDC() && !dcRefine {
+			return byte(tableSlot(c))
+		}
+		return 0
+	}
+	acTab := func(c int) byte {
+		if !scan.isDC() {
+			return byte(tableSlot(c))
+		}
+		return 0
+	}
+	writeSOS(buf, e.ci, scan, dcTab, acTab)
+
+	w := newBitWriter(buf)
+	sink := &writeSink{w: w, dc: dcEnc, ac: acEnc, isDC: scan.isDC()}
+	if err := e.walkScan(scan, sink); err != nil {
+		return err
+	}
+	w.flush()
+	return nil
+}
+
+// walkScan performs the entropy-coding control flow of one scan, feeding
+// symbols and raw bits to sink. The walk is deterministic so the stats and
+// emit passes produce identical symbol sequences.
+func (e *progEncoder) walkScan(scan ScanSpec, sink symbolSink) error {
+	switch {
+	case scan.isDC() && scan.Ah == 0:
+		e.walkDCFirst(scan, sink)
+	case scan.isDC():
+		e.walkDCRefine(scan, sink)
+	case scan.Ah == 0:
+		e.walkACFirst(scan, sink)
+	default:
+		e.walkACRefine(scan, sink)
+	}
+	return nil
+}
+
+// walkDCFirst codes the DC band's first pass: difference coding of
+// point-transformed DC values in interleaved MCU order.
+func (e *progEncoder) walkDCFirst(scan ScanSpec, sink symbolSink) {
+	var prevDC [3]int32
+	e.ci.forEachMCUBlock(scan.Comps, func(c, idx int, pad bool) {
+		v := e.ci.Blocks[c][idx][0] >> uint(scan.Al)
+		diff := v - prevDC[c]
+		prevDC[c] = v
+		size, bits := magnitude(diff)
+		sink.symbol(tableSlot(c), byte(size))
+		sink.bits(bits, size)
+	})
+}
+
+// walkDCRefine codes a DC refinement pass: one raw bit per block.
+func (e *progEncoder) walkDCRefine(scan ScanSpec, sink symbolSink) {
+	e.ci.forEachMCUBlock(scan.Comps, func(c, idx int, pad bool) {
+		v := e.ci.Blocks[c][idx][0] >> uint(scan.Al)
+		sink.bits(uint32(v)&1, 1)
+	})
+}
+
+// walkACFirst codes the first pass of an AC band: run-length coding of
+// point-transformed coefficients with EOB-run aggregation across blocks.
+func (e *progEncoder) walkACFirst(scan ScanSpec, sink symbolSink) {
+	c := scan.Comps[0]
+	t := tableSlot(c)
+	al := uint(scan.Al)
+	eobrun := 0
+	flushEOB := func() {
+		if eobrun == 0 {
+			return
+		}
+		r := uint(0)
+		for (1 << (r + 1)) <= eobrun {
+			r++
+		}
+		sink.symbol(t, byte(r<<4))
+		sink.bits(uint32(eobrun)-1<<r, r)
+		eobrun = 0
+	}
+	for _, blk := range e.ci.Blocks[c] {
+		r := 0
+		for k := scan.Ss; k <= scan.Se; k++ {
+			v := blk[zigzag[k]]
+			var a int32
+			if v < 0 {
+				a = -v >> al
+			} else {
+				a = v >> al
+			}
+			if a == 0 {
+				r++
+				continue
+			}
+			flushEOB()
+			for r > 15 {
+				sink.symbol(t, 0xF0) // ZRL
+				r -= 16
+			}
+			sv := a
+			if v < 0 {
+				sv = -a
+			}
+			size, bits := magnitude(sv)
+			sink.symbol(t, byte(r<<4)|byte(size))
+			sink.bits(bits, size)
+			r = 0
+		}
+		if r > 0 {
+			eobrun++
+			if eobrun == 0x7FFF {
+				flushEOB()
+			}
+		}
+	}
+	flushEOB()
+}
+
+// walkACRefine codes an AC refinement pass, following the structure of
+// libjpeg's encode_mcu_AC_refine: newly significant coefficients get
+// run/size symbols, already-significant ones contribute buffered correction
+// bits, and trailing zeros fold into a cross-block EOB run.
+func (e *progEncoder) walkACRefine(scan ScanSpec, sink symbolSink) {
+	c := scan.Comps[0]
+	t := tableSlot(c)
+	al := uint(scan.Al)
+	eobrun := 0
+	var carry []byte // correction bits attached to the pending EOB run
+	var cur []byte   // correction bits collected since the last symbol
+
+	emitBuffered := func(bitsBuf []byte) {
+		for _, b := range bitsBuf {
+			sink.bits(uint32(b), 1)
+		}
+	}
+	flushEOB := func() {
+		if eobrun == 0 {
+			return
+		}
+		r := uint(0)
+		for (1 << (r + 1)) <= eobrun {
+			r++
+		}
+		sink.symbol(t, byte(r<<4))
+		sink.bits(uint32(eobrun)-1<<r, r)
+		eobrun = 0
+		emitBuffered(carry)
+		carry = carry[:0]
+	}
+
+	var absv [64]int32
+	for _, blk := range e.ci.Blocks[c] {
+		// Point-transformed magnitudes and the index of the last newly
+		// significant coefficient (EOB position).
+		eob := 0
+		for k := scan.Ss; k <= scan.Se; k++ {
+			v := blk[zigzag[k]]
+			if v < 0 {
+				v = -v
+			}
+			absv[k] = v >> al
+			if absv[k] == 1 {
+				eob = k
+			}
+		}
+		r := 0
+		cur = cur[:0]
+		for k := scan.Ss; k <= scan.Se; k++ {
+			a := absv[k]
+			if a == 0 {
+				r++
+				continue
+			}
+			for r > 15 && k <= eob {
+				flushEOB()
+				sink.symbol(t, 0xF0)
+				r -= 16
+				emitBuffered(cur)
+				cur = cur[:0]
+			}
+			if a > 1 {
+				// Already significant: queue its correction bit.
+				cur = append(cur, byte(a&1))
+				continue
+			}
+			// Newly significant coefficient.
+			flushEOB()
+			sink.symbol(t, byte(r<<4)|1)
+			sign := uint32(1)
+			if blk[zigzag[k]] < 0 {
+				sign = 0
+			}
+			sink.bits(sign, 1)
+			emitBuffered(cur)
+			cur = cur[:0]
+			r = 0
+		}
+		if r > 0 || len(cur) > 0 {
+			eobrun++
+			carry = append(carry, cur...)
+			if eobrun == 0x7FFF || len(carry) > maxCorrBits {
+				flushEOB()
+			}
+		}
+	}
+	flushEOB()
+}

@@ -1,0 +1,192 @@
+package jpegc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomCoeffImage builds a structurally valid CoeffImage with arbitrary
+// coefficient contents — the adversarial input for entropy-coding
+// round-trips (real images never exercise extreme coefficient patterns like
+// saturated high-frequency bands or alternating signs).
+func randomCoeffImage(rng *rand.Rand) *CoeffImage {
+	ci := &CoeffImage{
+		Width:  rng.Intn(56) + 8,
+		Height: rng.Intn(56) + 8,
+	}
+	if rng.Intn(2) == 0 {
+		ci.NumComps = 1
+	} else {
+		ci.NumComps = 3
+	}
+	luma, chroma := QuantTables(rng.Intn(100) + 1)
+	ci.Quant[0], ci.Quant[1] = luma, chroma
+	n := ci.BlocksWide() * ci.BlocksHigh()
+	for c := 0; c < ci.NumComps; c++ {
+		ci.Blocks[c] = make([]Block, n)
+		for i := range ci.Blocks[c] {
+			blk := &ci.Blocks[c][i]
+			switch rng.Intn(4) {
+			case 0: // sparse, photograph-like
+				for k := 0; k < 6; k++ {
+					blk[rng.Intn(64)] = int32(rng.Intn(200) - 100)
+				}
+			case 1: // dense small values
+				for k := range blk {
+					blk[k] = int32(rng.Intn(7) - 3)
+				}
+			case 2: // large magnitudes (the extreme legal categories)
+				for k := 0; k < 3; k++ {
+					blk[rng.Intn(64)] = int32(rng.Intn(2047) - 1023)
+				}
+			case 3: // all zero
+			}
+			// Clamp to the T.81 8-bit ranges (validated by the encoder):
+			// DC in [-1024, 1023], AC in [-1023, 1023].
+			if blk[0] > 1023 {
+				blk[0] = 1023
+			}
+			if blk[0] < -1024 {
+				blk[0] = -1024
+			}
+		}
+	}
+	return ci
+}
+
+// TestQuickEntropyRoundTrip is the codec's core property: for any valid
+// coefficient image, every entropy-coding mode is lossless.
+func TestQuickEntropyRoundTrip(t *testing.T) {
+	modes := []*Options{
+		{},
+		{OptimizeHuffman: true},
+		{Progressive: true},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ci := randomCoeffImage(rng)
+		for _, opts := range modes {
+			data, err := EncodeCoeffs(ci, opts)
+			if err != nil {
+				t.Logf("seed %d: encode: %v", seed, err)
+				return false
+			}
+			got, err := DecodeCoeffs(data)
+			if err != nil {
+				t.Logf("seed %d: decode: %v", seed, err)
+				return false
+			}
+			if !got.Equal(ci) {
+				t.Logf("seed %d: coefficients changed (progressive=%v)", seed, opts.Progressive)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTranscodeIdempotent checks baseline→progressive→baseline is the
+// identity on coefficients for arbitrary inputs.
+func TestQuickTranscodeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ci := randomCoeffImage(rng)
+		base, err := EncodeCoeffs(ci, &Options{OptimizeHuffman: true})
+		if err != nil {
+			return false
+		}
+		prog, err := Transcode(base, &Options{Progressive: true})
+		if err != nil {
+			return false
+		}
+		back, err := Transcode(prog, &Options{OptimizeHuffman: true})
+		if err != nil {
+			return false
+		}
+		got, err := DecodeCoeffs(back)
+		if err != nil {
+			return false
+		}
+		return got.Equal(ci)
+	}
+	cfg := &quick.Config{
+		MaxCount: 20,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScanPrefixesAlwaysDecode: every scan prefix of any progressive
+// stream must decode without error — the property PCR correctness rests on.
+func TestQuickScanPrefixesAlwaysDecode(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ci := randomCoeffImage(rng)
+		data, err := EncodeCoeffs(ci, &Options{Progressive: true})
+		if err != nil {
+			return false
+		}
+		idx, err := IndexScans(data)
+		if err != nil {
+			return false
+		}
+		for n := 1; n <= len(idx.Scans); n++ {
+			trunc, err := TruncateToScan(data, idx, n)
+			if err != nil {
+				return false
+			}
+			if _, err := DecodeCoeffs(trunc); err != nil {
+				t.Logf("seed %d: prefix %d: %v", seed, n, err)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 20,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics fuzzes the marker parser with mutated valid
+// streams: errors are fine, panics are not.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	img := testImage(32, 32, 3)
+	valid, err := Encode(img, &Options{Quality: 70, Progressive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), valid...)
+		for m := 0; m < rng.Intn(8)+1; m++ {
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		}
+		if rng.Intn(4) == 0 {
+			data = data[:rng.Intn(len(data))+1]
+		}
+		// Must not panic (errors are expected and ignored).
+		DecodeCoeffs(data)
+		IndexScans(data)
+	}
+}

@@ -1,0 +1,197 @@
+package jpegc
+
+import (
+	"bytes"
+	stdjpeg "image/jpeg"
+	"testing"
+)
+
+func opts420() map[string]*Options {
+	return map[string]*Options{
+		"baseline-420":           {Quality: 80, Subsample420: true},
+		"baseline-optimized-420": {Quality: 80, Subsample420: true, OptimizeHuffman: true},
+		"progressive-420":        {Quality: 80, Subsample420: true, Progressive: true},
+	}
+}
+
+func TestCoeffRoundTrip420(t *testing.T) {
+	// Odd dimensions stress both the chroma half-resolution rounding and
+	// the MCU padding path.
+	for _, dims := range [][2]int{{64, 64}, {67, 45}, {33, 17}, {16, 48}} {
+		img := testImage(dims[0], dims[1], 13)
+		for name, o := range opts420() {
+			t.Run(name, func(t *testing.T) {
+				ci, err := Analyze(img, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ci.Subsample420 {
+					t.Fatal("Analyze ignored Subsample420")
+				}
+				if len(ci.Blocks[1]) >= len(ci.Blocks[0]) {
+					t.Fatalf("chroma has %d blocks vs luma %d; expected ~1/4", len(ci.Blocks[1]), len(ci.Blocks[0]))
+				}
+				data, err := EncodeCoeffs(ci, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := DecodeCoeffs(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(ci) {
+					t.Fatalf("%dx%d: coefficients changed across encode/decode", dims[0], dims[1])
+				}
+			})
+		}
+	}
+}
+
+func TestStdlibInterop420(t *testing.T) {
+	img := testImage(66, 50, 23) // force MCU padding on both axes
+	for name, o := range opts420() {
+		t.Run(name, func(t *testing.T) {
+			data, err := Encode(img, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stdImg, err := stdjpeg.Decode(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("stdlib refused our 4:2:0 stream: %v", err)
+			}
+			ourImg, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := maxPixelDiff(t, stdImg, ourImg); diff > 2 {
+				t.Errorf("max pixel difference vs stdlib = %d", diff)
+			}
+		})
+	}
+}
+
+// TestDecodeStdlibEncoded verifies we can read JPEG produced by the
+// standard library, which always writes 4:2:0 for color at default
+// quality — i.e. the codec handles real-world input, not just its own.
+func TestDecodeStdlibEncoded(t *testing.T) {
+	img := testImage(70, 54, 33)
+	var buf bytes.Buffer
+	if err := stdjpeg.Encode(&buf, img, &stdjpeg.Options{Quality: 85}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding stdlib-encoded JPEG: %v", err)
+	}
+	ref, err := stdjpeg.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := maxPixelDiff(t, ref, got); diff > 2 {
+		t.Errorf("max pixel difference vs stdlib's own decode = %d", diff)
+	}
+}
+
+func TestTranscodeStdlibTo420Progressive(t *testing.T) {
+	// The full real-world PCR path: a stdlib-encoded (4:2:0 baseline) JPEG
+	// losslessly transcoded to progressive, indexed, truncated, decoded.
+	img := testImage(64, 64, 43)
+	var buf bytes.Buffer
+	if err := stdjpeg.Encode(&buf, img, &stdjpeg.Options{Quality: 80}); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Transcode(buf.Bytes(), &Options{Progressive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciBase, err := DecodeCoeffs(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciProg, err := DecodeCoeffs(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ciProg.Equal(ciBase) {
+		t.Fatal("transcode of stdlib 4:2:0 stream is not lossless")
+	}
+	idx, err := IndexScans(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Scans) != 10 {
+		t.Fatalf("scan count = %d", len(idx.Scans))
+	}
+	for n := 1; n <= 10; n++ {
+		trunc, err := TruncateToScan(prog, idx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(trunc); err != nil {
+			t.Fatalf("prefix %d: %v", n, err)
+		}
+		if _, err := stdjpeg.Decode(bytes.NewReader(trunc)); err != nil {
+			t.Fatalf("prefix %d: stdlib: %v", n, err)
+		}
+	}
+}
+
+func TestTruncatedPrefixes420QualityMonotone(t *testing.T) {
+	img := testImage(64, 64, 53)
+	prog, err := Encode(img, &Options{Quality: 85, Progressive: true, Subsample420: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := IndexScans(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevErr := 1e9
+	for n := 1; n <= len(idx.Scans); n++ {
+		trunc, err := TruncateToScan(prog, idx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(trunc)
+		if err != nil {
+			t.Fatalf("prefix %d: %v", n, err)
+		}
+		e := meanAbsErr(got, full)
+		if n == len(idx.Scans) && e != 0 {
+			t.Errorf("full prefix differs from full decode (MAE %v)", e)
+		}
+		if e > prevErr+3 {
+			t.Errorf("prefix %d: MAE %v worse than previous %v", n, e, prevErr)
+		}
+		if e < prevErr {
+			prevErr = e
+		}
+	}
+}
+
+func Test420SmallerThan444(t *testing.T) {
+	img := testImage(96, 96, 63)
+	full, err := Encode(img, &Options{Quality: 80, OptimizeHuffman: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Encode(img, &Options{Quality: 80, OptimizeHuffman: true, Subsample420: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) >= len(full) {
+		t.Errorf("4:2:0 (%d bytes) not smaller than 4:4:4 (%d bytes)", len(sub), len(full))
+	}
+}
+
+func TestGray420Rejected(t *testing.T) {
+	ci := &CoeffImage{Width: 8, Height: 8, NumComps: 1, Subsample420: true}
+	ci.Blocks[0] = make([]Block, 1)
+	if _, err := EncodeCoeffs(ci, nil); err == nil {
+		t.Error("grayscale 4:2:0 accepted")
+	}
+}

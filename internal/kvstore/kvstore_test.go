@@ -1,0 +1,344 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTemp(t *testing.T, opts *Options) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t, nil)
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get([]byte("k1"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	if err := s.Put([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get([]byte("k1"))
+	if string(v) != "v2" {
+		t.Errorf("overwrite lost: %q", v)
+	}
+	if err := s.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("k1")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key returned err %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	// Deleting a missing key is a no-op.
+	if err := s.Delete([]byte("nope")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyValuesAndKeys(t *testing.T) {
+	s, _ := openTemp(t, nil)
+	if err := s.Put([]byte("empty"), nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get([]byte("empty"))
+	if err != nil || len(v) != 0 {
+		t.Errorf("empty value: %q, %v", v, err)
+	}
+	if err := s.Put([]byte{}, []byte("keyless")); err != nil {
+		t.Fatal(err)
+	}
+	v, err = s.Get([]byte{})
+	if err != nil || string(v) != "keyless" {
+		t.Errorf("empty key: %q, %v", v, err)
+	}
+}
+
+func TestReopenRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%03d", i%100)
+		v := fmt.Sprintf("val-%d", i)
+		want[k] = v
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i += 3 {
+		k := fmt.Sprintf("key-%03d", i)
+		delete(want, k)
+		if err := s.Delete([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != len(want) {
+		t.Fatalf("reopened Len = %d, want %d", s2.Len(), len(want))
+	}
+	for k, v := range want {
+		got, err := s2.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("key %s: got %q, %v; want %q", k, got, err, v)
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	s, dir := openTemp(t, &Options{MaxSegmentBytes: 256})
+	for i := 0; i < 100; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%02d", i)), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Errorf("expected multiple segments, got %d", len(segs))
+	}
+	// Old-segment reads must still work.
+	if _, err := s.Get([]byte("k00")); err != nil {
+		t.Errorf("read from sealed segment: %v", err)
+	}
+}
+
+func TestTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put([]byte("a"), []byte("1"))
+	s.Put([]byte("b"), []byte("2"))
+	s.Close()
+
+	// Simulate a crash mid-append: append half a record to the active
+	// segment.
+	segs, _ := listSegments(dir)
+	last := filepath.Join(dir, segName(segs[len(segs)-1]))
+	// Find the segment that actually holds data (the first); corrupt its
+	// tail by appending garbage shorter than a header.
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xDE, 0xAD})
+	f.Close()
+
+	s2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer s2.Close()
+	if v, err := s2.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Errorf("a = %q, %v", v, err)
+	}
+	if v, err := s2.Get([]byte("b")); err != nil || string(v) != "2" {
+		t.Errorf("b = %q, %v", v, err)
+	}
+}
+
+func TestCorruptionInSealedSegmentDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, &Options{MaxSegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Put([]byte(fmt.Sprintf("k%d", i)), make([]byte, 32))
+	}
+	s.Close()
+	// Flip a byte in the middle of the first (sealed) segment.
+	segs, _ := listSegments(dir)
+	first := filepath.Join(dir, segName(segs[0]))
+	data, _ := os.ReadFile(first)
+	data[len(data)/2] ^= 0xFF
+	os.WriteFile(first, data, 0o644)
+
+	if _, err := Open(dir, nil); err == nil {
+		t.Error("corrupt sealed segment accepted")
+	}
+}
+
+func TestCompactReclaimsSpace(t *testing.T) {
+	s, dir := openTemp(t, &Options{MaxSegmentBytes: 1024})
+	// Heavy overwrite workload.
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("k%d", i%10)
+		if err := s.Put([]byte(k), make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dirSize(t, dir)
+	if s.GarbageBytes() == 0 {
+		t.Error("no garbage tracked despite overwrites")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := dirSize(t, dir)
+	if after >= before/10 {
+		t.Errorf("compaction reclaimed too little: %d -> %d bytes", before, after)
+	}
+	// All live keys must survive.
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Errorf("k%d lost after compact: %v", i, err)
+		}
+	}
+}
+
+func TestCompactThenReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, &Options{MaxSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s.Put([]byte(fmt.Sprintf("k%d", i%20)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 20 {
+		t.Errorf("Len after reopen = %d, want 20", s2.Len())
+	}
+	v, err := s2.Get([]byte("k19"))
+	if err != nil || string(v) != "v199" {
+		t.Errorf("k19 = %q, %v", v, err)
+	}
+}
+
+func TestForEachSortedOrder(t *testing.T) {
+	s, _ := openTemp(t, nil)
+	for _, k := range []string{"zebra", "apple", "mango"} {
+		s.Put([]byte(k), []byte(k))
+	}
+	var got []string
+	err := s.ForEach(func(k string, v []byte) error {
+		got = append(got, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"apple", "mango", "zebra"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := openTemp(t, &Options{MaxSegmentBytes: 4096})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("g%d-k%d", g, rng.Intn(50)))
+				switch rng.Intn(3) {
+				case 0:
+					if err := s.Put(k, []byte(fmt.Sprintf("%d", i))); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := s.Get(k); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- err
+						return
+					}
+				case 2:
+					if err := s.Delete(k); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestClosedStoreRejectsOps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err == nil {
+		t.Error("Put on closed store succeeded")
+	}
+	if _, err := s.Get([]byte("k")); err == nil {
+		t.Error("Get on closed store succeeded")
+	}
+	// Double close is fine.
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}

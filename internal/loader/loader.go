@@ -1,0 +1,174 @@
+// Package loader simulates the paper's data-loading pipeline (Appendix A.1)
+// on the iosim virtual clock: prefetch worker threads read record prefixes
+// from simulated storage, decode them (a CPU cost), and push them into a
+// bounded FCFS queue consumed by the compute unit. The loader is a closed
+// system (each thread starts its next read when the previous finishes); the
+// compute unit is an open system fed by the queue — the exact structure of
+// the paper's queueing analysis (Appendix A.2).
+//
+// The simulation exposes the quantities the paper plots: per-iteration data
+// load times and stalls (Figure 11), images/second throughput (Figures 9 and
+// 18), and end-to-end epoch times used for time-to-accuracy (Figures 4–6).
+package loader
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/iosim"
+)
+
+// Config describes one simulated epoch of loading.
+type Config struct {
+	// Cluster provides storage.
+	Cluster *iosim.Cluster
+	// Threads is the number of prefetch workers (the paper uses 4–8).
+	Threads int
+	// QueueCap is the prefetch queue capacity in records.
+	QueueCap int
+	// RecordBytes gives the bytes to read for each record at the chosen
+	// scan group (RecordPrefixLen of the PCR dataset).
+	RecordBytes []int64
+	// ImagesPerRecord gives the image count of each record.
+	ImagesPerRecord []int
+	// DecodeSecPerImage is CPU decode cost per image; progressive decode
+	// costs ~1.4–1.5× baseline (paper §A.5).
+	DecodeSecPerImage float64
+	// ComputeSecPerImage is the accelerator's per-image update time
+	// (1/405 s for ResNet-18 FP32, 1/760 for ShuffleNetv2 on the paper's
+	// TitanX).
+	ComputeSecPerImage float64
+	// Shuffle, when non-nil, visits records in a random order drawn from
+	// the given source (record-level shuffling as in the paper).
+	Shuffle *rand.Rand
+	// StartAt offsets the virtual clock (to chain epochs).
+	StartAt float64
+	// Passes repeats the record set (reshuffled per pass) to measure
+	// steady-state rates on small datasets. 0 means 1.
+	Passes int
+}
+
+// Result summarizes one simulated epoch.
+type Result struct {
+	// EndAt is the virtual time when the last record finished computing.
+	EndAt float64
+	// Elapsed is EndAt − StartAt.
+	Elapsed float64
+	// Images is the number of images consumed.
+	Images int
+	// BytesRead is the total bytes fetched from storage.
+	BytesRead int64
+	// ImagesPerSec is the epoch's aggregate training rate.
+	ImagesPerSec float64
+	// LoadSec[i] is the wall time from read start to ready-for-compute of
+	// the i-th consumed record (Figure 11's "data load time").
+	LoadSec []float64
+	// StallSec[i] is how long the compute unit sat idle waiting for the
+	// i-th record.
+	StallSec []float64
+	// TotalStallSec sums StallSec.
+	TotalStallSec float64
+}
+
+// Run simulates one epoch and returns its statistics.
+func Run(cfg Config) (*Result, error) {
+	n := len(cfg.RecordBytes)
+	if n == 0 {
+		return nil, fmt.Errorf("loader: no records")
+	}
+	if len(cfg.ImagesPerRecord) != n {
+		return nil, fmt.Errorf("loader: %d byte sizes but %d image counts", n, len(cfg.ImagesPerRecord))
+	}
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("loader: nil cluster")
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 4
+	}
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = 2 * threads
+	}
+
+	passes := cfg.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	total := n * passes
+	order := make([]int, 0, total)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for p := 0; p < passes; p++ {
+		if cfg.Shuffle != nil {
+			cfg.Shuffle.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		}
+		order = append(order, perm...)
+	}
+
+	res := &Result{
+		LoadSec:  make([]float64, total),
+		StallSec: make([]float64, total),
+	}
+	threadFree := make([]float64, threads)
+	for t := range threadFree {
+		threadFree[t] = cfg.StartAt
+	}
+	computeStart := make([]float64, total)
+	computeFree := cfg.StartAt
+
+	for k := 0; k < total; k++ {
+		rec := order[k]
+		t := k % threads
+		// The worker issues its read as soon as it is free (closed system).
+		readStart := threadFree[t]
+		readDone := cfg.Cluster.ReadRecord(rec, cfg.RecordBytes[rec], readStart)
+		decoded := readDone + cfg.DecodeSecPerImage*float64(cfg.ImagesPerRecord[rec])
+		// Backpressure: the queue holds queueCap records; enqueueing the
+		// k-th item requires the compute unit to have started item k−cap.
+		ready := decoded
+		if k >= queueCap && computeStart[k-queueCap] > ready {
+			ready = computeStart[k-queueCap]
+		}
+		threadFree[t] = ready
+		res.LoadSec[k] = ready - readStart
+
+		start := ready
+		if computeFree > start {
+			start = computeFree
+		}
+		computeStart[k] = start
+		stall := start - computeFree
+		if k == 0 {
+			// The first record's wait is pipeline warmup, not a stall.
+			stall = 0
+		}
+		res.StallSec[k] = stall
+		res.TotalStallSec += stall
+		computeFree = start + cfg.ComputeSecPerImage*float64(cfg.ImagesPerRecord[rec])
+
+		res.Images += cfg.ImagesPerRecord[rec]
+		res.BytesRead += cfg.RecordBytes[rec]
+	}
+	res.EndAt = computeFree
+	res.Elapsed = res.EndAt - cfg.StartAt
+	if res.Elapsed > 0 {
+		res.ImagesPerSec = float64(res.Images) / res.Elapsed
+	}
+	return res, nil
+}
+
+// ReadOnlyRate simulates the reader microbenchmark of §A.5: no compute unit,
+// just threads reading record prefixes and decoding, reporting images/sec.
+// This is what Figure 18 plots.
+func ReadOnlyRate(cfg Config) (*Result, error) {
+	cfg.ComputeSecPerImage = 0
+	passes := cfg.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	cfg.QueueCap = len(cfg.RecordBytes)*passes + 1 // no backpressure
+	return Run(cfg)
+}

@@ -1,0 +1,213 @@
+package loader
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/iosim"
+)
+
+func uniformRecords(n int, bytes int64, images int) ([]int64, []int) {
+	rb := make([]int64, n)
+	ipr := make([]int, n)
+	for i := range rb {
+		rb[i] = bytes
+		ipr[i] = images
+	}
+	return rb, ipr
+}
+
+func TestRunBasicInvariants(t *testing.T) {
+	cluster, _ := iosim.NewCluster(iosim.SATASSD, 2)
+	rb, ipr := uniformRecords(50, 4<<20, 64)
+	res, err := Run(Config{
+		Cluster: cluster, Threads: 4, QueueCap: 8,
+		RecordBytes: rb, ImagesPerRecord: ipr,
+		DecodeSecPerImage:  1e-4,
+		ComputeSecPerImage: 1.0 / 405,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Images != 50*64 {
+		t.Errorf("images = %d", res.Images)
+	}
+	if res.BytesRead != 50*(4<<20) {
+		t.Errorf("bytes = %d", res.BytesRead)
+	}
+	if res.Elapsed <= 0 || res.ImagesPerSec <= 0 {
+		t.Errorf("elapsed %v rate %v", res.Elapsed, res.ImagesPerSec)
+	}
+	// The epoch can be no faster than pure compute and no faster than pure
+	// I/O.
+	computeFloor := float64(res.Images) / 405
+	ioFloor := float64(res.BytesRead) / cluster.AggregateBandwidth()
+	if res.Elapsed < computeFloor-1e-9 {
+		t.Errorf("elapsed %v beats compute floor %v", res.Elapsed, computeFloor)
+	}
+	if res.Elapsed < ioFloor-1e-9 {
+		t.Errorf("elapsed %v beats I/O floor %v", res.Elapsed, ioFloor)
+	}
+}
+
+func TestIOBoundThroughputMatchesLittlesLaw(t *testing.T) {
+	// With a slow device and fast compute, throughput must approach
+	// W / E[bytes per image] (Lemma A.2).
+	spec := iosim.DeviceSpec{Name: "slow", BandwidthBps: 50e6, SeekSec: 1e-3}
+	cluster, _ := iosim.NewCluster(spec, 1)
+	imagesPerRecord := 64
+	recordBytes := int64(imagesPerRecord) * 100e3 // 100 kB/image
+	rb, ipr := uniformRecords(200, recordBytes, imagesPerRecord)
+	res, err := Run(Config{
+		Cluster: cluster, Threads: 4, QueueCap: 8,
+		RecordBytes: rb, ImagesPerRecord: ipr,
+		DecodeSecPerImage:  0,
+		ComputeSecPerImage: 1e-6, // effectively infinite compute
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := spec.BandwidthBps / 100e3
+	if rel := math.Abs(res.ImagesPerSec-predicted) / predicted; rel > 0.05 {
+		t.Errorf("rate %v vs Little's-law prediction %v (%.1f%% off)", res.ImagesPerSec, predicted, rel*100)
+	}
+	if res.TotalStallSec <= 0 {
+		t.Error("I/O-bound run should stall the compute unit")
+	}
+}
+
+func TestComputeBoundHasNoStalls(t *testing.T) {
+	cluster, _ := iosim.NewCluster(iosim.RAMDisk, 4)
+	rb, ipr := uniformRecords(100, 1<<20, 64)
+	res, err := Run(Config{
+		Cluster: cluster, Threads: 8, QueueCap: 16,
+		RecordBytes: rb, ImagesPerRecord: ipr,
+		DecodeSecPerImage:  0,
+		ComputeSecPerImage: 1.0 / 100, // very slow model
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalStallSec > res.Elapsed*0.01 {
+		t.Errorf("compute-bound run stalled %.3fs of %.3fs", res.TotalStallSec, res.Elapsed)
+	}
+	want := float64(res.Images) / 100
+	if rel := math.Abs(res.Elapsed-want) / want; rel > 0.05 {
+		t.Errorf("elapsed %v, want ~%v", res.Elapsed, want)
+	}
+}
+
+func TestSmallerBytesProportionalSpeedup(t *testing.T) {
+	// Observation 6: a 2× byte reduction gives a ~2× rate increase when
+	// I/O bound.
+	spec := iosim.DeviceSpec{BandwidthBps: 100e6, SeekSec: 1e-4}
+	rate := func(bytesPerImage int64) float64 {
+		cluster, _ := iosim.NewCluster(spec, 1)
+		rb, ipr := uniformRecords(100, bytesPerImage*64, 64)
+		res, err := Run(Config{
+			Cluster: cluster, Threads: 4,
+			RecordBytes: rb, ImagesPerRecord: ipr,
+			ComputeSecPerImage: 1e-7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ImagesPerSec
+	}
+	r100 := rate(100e3)
+	r50 := rate(50e3)
+	speedup := r50 / r100
+	if speedup < 1.9 || speedup > 2.1 {
+		t.Errorf("2x byte reduction gave %.2fx speedup", speedup)
+	}
+}
+
+func TestQueueBackpressureBoundsLead(t *testing.T) {
+	// With a tiny queue and slow compute, readers must not run arbitrarily
+	// far ahead: total bytes read by any point is bounded by what compute
+	// has consumed plus the queue+thread window.
+	cluster, _ := iosim.NewCluster(iosim.RAMDisk, 1)
+	rb, ipr := uniformRecords(50, 1<<20, 32)
+	res, err := Run(Config{
+		Cluster: cluster, Threads: 2, QueueCap: 2,
+		RecordBytes: rb, ImagesPerRecord: ipr,
+		ComputeSecPerImage: 1.0 / 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Late-record load times include the back-pressure wait, so they
+	// stretch toward the compute period per record (~0.64 s).
+	late := res.LoadSec[len(res.LoadSec)-1]
+	if late < 0.5 {
+		t.Errorf("backpressure not visible in load time: %v", late)
+	}
+}
+
+func TestShuffleChangesOrderNotTotals(t *testing.T) {
+	spec := iosim.DeviceSpec{BandwidthBps: 200e6, SeekSec: 1e-3}
+	rb := make([]int64, 64)
+	ipr := make([]int, 64)
+	for i := range rb {
+		rb[i] = int64(1+i%7) << 18
+		ipr[i] = 32
+	}
+	run := func(shuffle *rand.Rand) *Result {
+		cluster, _ := iosim.NewCluster(spec, 2)
+		res, err := Run(Config{
+			Cluster: cluster, Threads: 4,
+			RecordBytes: rb, ImagesPerRecord: ipr,
+			ComputeSecPerImage: 1e-4,
+			Shuffle:            shuffle,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(nil)
+	b := run(rand.New(rand.NewSource(5)))
+	if a.Images != b.Images || a.BytesRead != b.BytesRead {
+		t.Error("shuffling changed totals")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cluster, _ := iosim.NewCluster(iosim.SATASSD, 1)
+	if _, err := Run(Config{Cluster: cluster}); err == nil {
+		t.Error("empty records accepted")
+	}
+	if _, err := Run(Config{RecordBytes: []int64{1}, ImagesPerRecord: []int{1}}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := Run(Config{Cluster: cluster, RecordBytes: []int64{1, 2}, ImagesPerRecord: []int{1}}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestReadOnlyRateScalesWithScanBytes(t *testing.T) {
+	// Figure 18's shape: throughput in images/sec is inversely proportional
+	// to bytes per image once the drive saturates.
+	spec := iosim.SATASSD
+	rate := func(bytesPerImage int64) float64 {
+		cluster, _ := iosim.NewCluster(spec, 1)
+		rb, ipr := uniformRecords(100, bytesPerImage*128, 128)
+		res, err := ReadOnlyRate(Config{
+			Cluster: cluster, Threads: 8,
+			RecordBytes: rb, ImagesPerRecord: ipr,
+			DecodeSecPerImage: 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ImagesPerSec
+	}
+	r1 := rate(12e3)  // scan-1-ish bytes
+	r10 := rate(90e3) // full-quality bytes
+	ratio := r1 / r10
+	want := 90.0 / 12.0
+	if math.Abs(ratio-want)/want > 0.1 {
+		t.Errorf("rate ratio %.2f, want ~%.2f", ratio, want)
+	}
+}

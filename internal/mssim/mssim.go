@@ -1,0 +1,226 @@
+// Package mssim implements structural-similarity image quality metrics:
+// single-scale SSIM and multi-scale SSIM (MS-SSIM, Wang, Simoncelli & Bovik
+// 2003). The paper uses MSSIM as the static estimator of how much accuracy a
+// scan group sacrifices (§4.4): scans with MSSIM ≥ 0.95 train like the
+// baseline.
+//
+// Metrics operate on luma; color inputs are converted with the BT.601
+// weights JPEG itself uses.
+package mssim
+
+import (
+	"fmt"
+	"image"
+	"math"
+)
+
+// Plane is a float64 grayscale raster.
+type Plane struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewPlane allocates a zeroed plane.
+func NewPlane(w, h int) *Plane {
+	return &Plane{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the sample at (x, y).
+func (p *Plane) At(x, y int) float64 { return p.Pix[y*p.W+x] }
+
+// FromImage extracts the luma plane of an image.
+func FromImage(img image.Image) *Plane {
+	b := img.Bounds()
+	p := NewPlane(b.Dx(), b.Dy())
+	i := 0
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g, bb, _ := img.At(x, y).RGBA()
+			// BT.601 luma from 16-bit channels, scaled to [0, 255].
+			p.Pix[i] = (0.299*float64(r) + 0.587*float64(g) + 0.114*float64(bb)) / 257.0
+			i++
+		}
+	}
+	return p
+}
+
+// downsample2 halves a plane with a 2×2 box filter, the dyadic step MS-SSIM
+// prescribes between scales.
+func downsample2(p *Plane) *Plane {
+	w, h := p.W/2, p.H/2
+	out := NewPlane(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := p.At(2*x, 2*y) + p.At(2*x+1, 2*y) + p.At(2*x, 2*y+1) + p.At(2*x+1, 2*y+1)
+			out.Pix[y*w+x] = s / 4
+		}
+	}
+	return out
+}
+
+// SSIM constants for 8-bit dynamic range (K1=0.01, K2=0.03, L=255).
+const (
+	c1 = (0.01 * 255) * (0.01 * 255)
+	c2 = (0.03 * 255) * (0.03 * 255)
+)
+
+// gaussianKernel returns the 11-tap, σ=1.5 window from the SSIM paper.
+func gaussianKernel() []float64 {
+	const n, sigma = 11, 1.5
+	k := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := float64(i - n/2)
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+var kernel = gaussianKernel()
+
+// windowStats computes Gaussian-weighted means, variances and covariance of
+// two planes over the 11×11 window centered at (cx, cy). Windows are clipped
+// at borders with weight renormalization.
+func windowStats(a, b *Plane, cx, cy int) (ma, mb, va, vb, cov float64) {
+	const half = 5
+	var wsum float64
+	for dy := -half; dy <= half; dy++ {
+		y := cy + dy
+		if y < 0 || y >= a.H {
+			continue
+		}
+		for dx := -half; dx <= half; dx++ {
+			x := cx + dx
+			if x < 0 || x >= a.W {
+				continue
+			}
+			w := kernel[dy+half] * kernel[dx+half]
+			wsum += w
+			ma += w * a.At(x, y)
+			mb += w * b.At(x, y)
+		}
+	}
+	ma /= wsum
+	mb /= wsum
+	for dy := -half; dy <= half; dy++ {
+		y := cy + dy
+		if y < 0 || y >= a.H {
+			continue
+		}
+		for dx := -half; dx <= half; dx++ {
+			x := cx + dx
+			if x < 0 || x >= a.W {
+				continue
+			}
+			w := kernel[dy+half] * kernel[dx+half] / wsum
+			da := a.At(x, y) - ma
+			db := b.At(x, y) - mb
+			va += w * da * da
+			vb += w * db * db
+			cov += w * da * db
+		}
+	}
+	return ma, mb, va, vb, cov
+}
+
+// ssimParts returns the mean luminance term l and the mean
+// contrast-structure term cs over the full SSIM map of two planes.
+func ssimParts(a, b *Plane) (l, cs float64, err error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, 0, fmt.Errorf("mssim: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	if a.W == 0 || a.H == 0 {
+		return 0, 0, fmt.Errorf("mssim: empty plane")
+	}
+	// Stride 2 sampling keeps the metric stable while cutting cost 4×.
+	step := 1
+	if a.W*a.H > 64*64 {
+		step = 2
+	}
+	var sumL, sumCS float64
+	var n int
+	for y := 0; y < a.H; y += step {
+		for x := 0; x < a.W; x += step {
+			ma, mb, va, vb, cov := windowStats(a, b, x, y)
+			lt := (2*ma*mb + c1) / (ma*ma + mb*mb + c1)
+			cst := (2*cov + c2) / (va + vb + c2)
+			sumL += lt
+			sumCS += cst
+			n++
+		}
+	}
+	return sumL / float64(n), sumCS / float64(n), nil
+}
+
+// SSIM computes the mean single-scale SSIM index of two images in [−1, 1]
+// (1 means identical).
+func SSIM(a, b image.Image) (float64, error) {
+	pa, pb := FromImage(a), FromImage(b)
+	l, cs, err := ssimParts(pa, pb)
+	if err != nil {
+		return 0, err
+	}
+	return l * cs, nil
+}
+
+// msWeights are the five per-scale exponents from Wang et al. 2003.
+var msWeights = []float64{0.0448, 0.2856, 0.3001, 0.2363, 0.1333}
+
+// MSSIM computes the multi-scale SSIM index of two images. Images smaller
+// than the full five-scale pyramid use as many scales as fit (at least one),
+// with the weight vector renormalized — the standard practical adaptation
+// for small inputs.
+func MSSIM(a, b image.Image) (float64, error) {
+	pa, pb := FromImage(a), FromImage(b)
+	if pa.W != pb.W || pa.H != pb.H {
+		return 0, fmt.Errorf("mssim: size mismatch %dx%d vs %dx%d", pa.W, pa.H, pb.W, pb.H)
+	}
+
+	// Determine how many scales fit: each needs at least 11 pixels a side.
+	scales := 0
+	w, h := pa.W, pa.H
+	for scales < len(msWeights) && w >= 11 && h >= 11 {
+		scales++
+		w, h = w/2, h/2
+	}
+	if scales == 0 {
+		scales = 1
+	}
+	var wsum float64
+	for _, wt := range msWeights[:scales] {
+		wsum += wt
+	}
+
+	result := 1.0
+	for s := 0; s < scales; s++ {
+		l, cs, err := ssimParts(pa, pb)
+		if err != nil {
+			return 0, err
+		}
+		wt := msWeights[s] / wsum
+		if s == scales-1 {
+			// Luminance enters only at the coarsest scale.
+			result *= signedPow(l, wt) * signedPow(cs, wt)
+		} else {
+			result *= signedPow(cs, wt)
+		}
+		if s < scales-1 {
+			pa = downsample2(pa)
+			pb = downsample2(pb)
+		}
+	}
+	return result, nil
+}
+
+// signedPow raises v to exponent w, clamping tiny negatives (possible in cs
+// for adversarial inputs) to zero rather than producing NaN.
+func signedPow(v, w float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Pow(v, w)
+}

@@ -1,0 +1,136 @@
+package mssim
+
+import (
+	"image"
+	"image/color"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func grad(w, h int) *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetGray(x, y, color.Gray{Y: uint8((x*3 + y*5) % 256)})
+		}
+	}
+	return img
+}
+
+func noisy(src *image.Gray, amp float64, seed int64) *image.Gray {
+	rng := rand.New(rand.NewSource(seed))
+	b := src.Bounds()
+	out := image.NewGray(b)
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			v := float64(src.GrayAt(x, y).Y) + (rng.Float64()*2-1)*amp
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			out.SetGray(x, y, color.Gray{Y: uint8(v)})
+		}
+	}
+	return out
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	img := grad(64, 64)
+	v, err := SSIM(img, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("SSIM(x,x) = %v, want 1", v)
+	}
+}
+
+func TestMSSIMIdentical(t *testing.T) {
+	img := grad(128, 96)
+	v, err := MSSIM(img, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("MSSIM(x,x) = %v, want 1", v)
+	}
+}
+
+func TestMSSIMDecreasesWithNoise(t *testing.T) {
+	ref := grad(96, 96)
+	prev := 1.0
+	for _, amp := range []float64{5, 20, 60} {
+		v, err := MSSIM(ref, noisy(ref, amp, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Errorf("MSSIM at noise %v = %v, not below %v", amp, v, prev)
+		}
+		if v <= 0 || v > 1 {
+			t.Errorf("MSSIM at noise %v = %v out of (0,1]", amp, v)
+		}
+		prev = v
+	}
+}
+
+func TestSSIMSizeMismatch(t *testing.T) {
+	if _, err := SSIM(grad(32, 32), grad(16, 16)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := MSSIM(grad(32, 32), grad(16, 16)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestMSSIMSmallImages(t *testing.T) {
+	// Must not panic or NaN on images smaller than the 5-scale pyramid.
+	for _, n := range []int{11, 16, 24, 40} {
+		img := grad(n, n)
+		v, err := MSSIM(img, noisy(img, 10, 2))
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		if math.IsNaN(v) || v <= 0 || v > 1 {
+			t.Errorf("size %d: MSSIM = %v", n, v)
+		}
+	}
+}
+
+func TestSSIMContrastInversion(t *testing.T) {
+	// An inverted image should score far below a noisy copy.
+	ref := grad(64, 64)
+	inv := image.NewGray(ref.Bounds())
+	for i, p := range ref.Pix {
+		inv.Pix[i] = 255 - p
+	}
+	vInv, err := SSIM(ref, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vNoise, err := SSIM(ref, noisy(ref, 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vInv >= vNoise {
+		t.Errorf("SSIM(inverted)=%v not below SSIM(noisy)=%v", vInv, vNoise)
+	}
+}
+
+func TestDownsampleHalves(t *testing.T) {
+	p := NewPlane(8, 6)
+	for i := range p.Pix {
+		p.Pix[i] = float64(i)
+	}
+	d := downsample2(p)
+	if d.W != 4 || d.H != 3 {
+		t.Fatalf("downsampled size %dx%d", d.W, d.H)
+	}
+	// Top-left 2×2 block of 0,1,8,9 averages to 4.5.
+	if d.At(0, 0) != 4.5 {
+		t.Errorf("d(0,0) = %v, want 4.5", d.At(0, 0))
+	}
+}

@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// xorish builds a small linearly-inseparable dataset.
+func blobs(n, in, classes int, seed int64) Batch {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, in)
+		for i := range centers[c] {
+			centers[c][i] = rng.NormFloat64() * 2
+		}
+	}
+	var b Batch
+	for i := 0; i < n; i++ {
+		c := i % classes
+		x := make([]float64, in)
+		for j := range x {
+			x[j] = centers[c][j] + rng.NormFloat64()*0.4
+		}
+		b.X = append(b.X, x)
+		b.Y = append(b.Y, c)
+	}
+	return b
+}
+
+func TestNewMLPValidation(t *testing.T) {
+	if _, err := NewMLP(0, 4, 2, 1); err == nil {
+		t.Error("zero input accepted")
+	}
+	if _, err := NewMLP(4, 0, 2, 1); err == nil {
+		t.Error("zero hidden accepted")
+	}
+	if _, err := NewMLP(4, 4, 1, 1); err == nil {
+		t.Error("single class accepted")
+	}
+}
+
+func TestGradientNumerically(t *testing.T) {
+	// Central-difference check of the analytic gradient.
+	m, err := NewMLP(5, 7, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := blobs(8, 5, 3, 1)
+	g, _, _, err := m.Gradient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	check := func(name string, params []float64, grads []float64, idx int) {
+		t.Helper()
+		orig := params[idx]
+		params[idx] = orig + eps
+		lp, _, _ := m.Evaluate(b)
+		params[idx] = orig - eps
+		lm, _, _ := m.Evaluate(b)
+		params[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-grads[idx]) > 1e-5*(1+math.Abs(numeric)) {
+			t.Errorf("%s[%d]: analytic %v vs numeric %v", name, idx, grads[idx], numeric)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		check("W1", m.W1, g.W1, rng.Intn(len(m.W1)))
+		check("B1", m.B1, g.B1, rng.Intn(len(m.B1)))
+		check("W2", m.W2, g.W2, rng.Intn(len(m.W2)))
+		check("B2", m.B2, g.B2, rng.Intn(len(m.B2)))
+	}
+}
+
+func TestTrainingConvergesOnBlobs(t *testing.T) {
+	m, err := NewMLP(6, 16, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := blobs(280, 6, 4, 11)
+	train := Batch{X: all.X[:200], Y: all.Y[:200]}
+	test := Batch{X: all.X[200:], Y: all.Y[200:]}
+	var firstLoss float64
+	for epoch := 0; epoch < 200; epoch++ {
+		g, loss, _, err := m.Gradient(train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch == 0 {
+			firstLoss = loss
+		}
+		m.Step(g, 0.05, 0.9)
+	}
+	finalLoss, acc, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalLoss >= firstLoss {
+		t.Errorf("loss did not decrease: %v -> %v", firstLoss, finalLoss)
+	}
+	if acc < 0.9 {
+		t.Errorf("test accuracy %.2f on separable blobs", acc)
+	}
+}
+
+func TestCloneRestoreRollback(t *testing.T) {
+	m, _ := NewMLP(4, 8, 3, 1)
+	b := blobs(32, 4, 3, 2)
+	ckpt := m.Clone()
+	lossBefore, _, _ := m.Evaluate(b)
+	for i := 0; i < 5; i++ {
+		g, _, _, _ := m.Gradient(b)
+		m.Step(g, 0.5, 0)
+	}
+	lossAfter, _, _ := m.Evaluate(b)
+	if lossAfter == lossBefore {
+		t.Fatal("training had no effect")
+	}
+	if err := m.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	lossRestored, _, _ := m.Evaluate(b)
+	if lossRestored != lossBefore {
+		t.Errorf("rollback imperfect: %v vs %v", lossRestored, lossBefore)
+	}
+	other, _ := NewMLP(4, 9, 3, 1)
+	if err := m.Restore(other); err == nil {
+		t.Error("shape-mismatched restore accepted")
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := []float64{1, 0, 2}
+	if s, err := CosineSimilarity(a, a); err != nil || math.Abs(s-1) > 1e-12 {
+		t.Errorf("self similarity = %v, %v", s, err)
+	}
+	b := []float64{-1, 0, -2}
+	if s, _ := CosineSimilarity(a, b); math.Abs(s+1) > 1e-12 {
+		t.Errorf("opposite similarity = %v", s)
+	}
+	if _, err := CosineSimilarity(a, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := CosineSimilarity(a, []float64{0, 0, 0}); err == nil {
+		t.Error("zero vector accepted")
+	}
+}
+
+func TestGradientValidation(t *testing.T) {
+	m, _ := NewMLP(4, 4, 2, 1)
+	if _, _, _, err := m.Gradient(Batch{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, _, _, err := m.Gradient(Batch{X: [][]float64{{1, 2}}, Y: []int{0}}); err == nil {
+		t.Error("wrong feature width accepted")
+	}
+	if _, _, _, err := m.Gradient(Batch{X: [][]float64{{1, 2, 3, 4}}, Y: []int{5}}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, _ := NewMLP(4, 4, 2, 99)
+	b, _ := NewMLP(4, 4, 2, 99)
+	for i := range a.W1 {
+		if a.W1[i] != b.W1[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+	c, _ := NewMLP(4, 4, 2, 100)
+	same := true
+	for i := range a.W1 {
+		if a.W1[i] != c.W1[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weights")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	if _, err := ProfileByName("resnetlike"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	for _, p := range Profiles() {
+		m, err := p.Build(100, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Hidden != p.Hidden {
+			t.Errorf("%s hidden = %d", p.Name, m.Hidden)
+		}
+	}
+	if ShuffleNetLike.ImagesPerSecPerGPU <= ResNetLike.ImagesPerSecPerGPU {
+		t.Error("shufflenet profile should be faster per image")
+	}
+}

@@ -1,0 +1,63 @@
+package nn
+
+import "fmt"
+
+// ModelProfile pairs a network architecture with the measured per-GPU
+// service rates the paper reports for it (§A.5 benchmark cluster speeds).
+// The reproduction trains the Shape for real; the rates parameterize the
+// virtual compute clock.
+type ModelProfile struct {
+	// Name is "resnetlike" or "shufflenetlike".
+	Name string
+	// Hidden is the MLP hidden width. The ResNet-18 stand-in is wider
+	// (more statistical capacity, slower per image); the ShuffleNetv2
+	// stand-in is narrower and faster — preserving the paper's contrast.
+	Hidden int
+	// ImagesPerSecPerGPU is the paper's measured FP16 single-GPU rate
+	// (ResNet-18: 445, ShuffleNetv2: 750 on a TitanX).
+	ImagesPerSecPerGPU float64
+	// ClusterImagesPerSec is the paper's measured 10-worker aggregate rate
+	// from cached data (ResNet-18: 4240, ShuffleNetv2: 7180).
+	ClusterImagesPerSec float64
+	// LR and Momentum are the optimizer defaults for this profile.
+	LR, Momentum float64
+}
+
+// The two evaluation models.
+var (
+	ResNetLike = ModelProfile{
+		Name:                "resnetlike",
+		Hidden:              96,
+		ImagesPerSecPerGPU:  445,
+		ClusterImagesPerSec: 4240,
+		LR:                  0.08,
+		Momentum:            0.9,
+	}
+	ShuffleNetLike = ModelProfile{
+		Name:                "shufflenetlike",
+		Hidden:              40,
+		ImagesPerSecPerGPU:  750,
+		ClusterImagesPerSec: 7180,
+		LR:                  0.08,
+		Momentum:            0.9,
+	}
+)
+
+// Profiles lists both evaluation models.
+func Profiles() []ModelProfile { return []ModelProfile{ResNetLike, ShuffleNetLike} }
+
+// ProfileByName looks up a model profile.
+func ProfileByName(name string) (ModelProfile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return ModelProfile{}, fmt.Errorf("nn: unknown model %q", name)
+}
+
+// Build constructs the profile's network for the given input width and
+// class count.
+func (p ModelProfile) Build(in, classes int, seed int64) (*MLP, error) {
+	return NewMLP(in, p.Hidden, classes, seed)
+}

@@ -1,0 +1,43 @@
+package queueing_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/queueing"
+)
+
+// Example computes the paper's headline quantity: the speedup of reading a
+// scan group that halves mean image bytes, on an I/O-bound pipeline
+// (Theorem A.5), and where the compute roofline clips it.
+func Example() {
+	p := queueing.Pipeline{
+		BandwidthBps:        425e6, // the testbed's ~425 MB/s Ceph pool
+		ComputeImagesPerSec: 7180,  // ShuffleNetv2 cluster rate from RAM
+	}
+
+	// Baseline ImageNet images average ~110 kB; scan group 5 halves that.
+	s, err := p.Speedup(110e3, 55e3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2x byte reduction -> %.2fx speedup\n", s)
+
+	// Below the crossover byte intensity the compute roof takes over.
+	knee, err := p.CrossoverBytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compute-bound below %.0f bytes/image\n", knee)
+
+	s, err = p.Speedup(110e3, 11e3) // a 10x reduction cannot give 10x
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("10x byte reduction -> only %.2fx (clipped by the roof)\n", s)
+
+	// Output:
+	// 2x byte reduction -> 1.86x speedup
+	// compute-bound below 59192 bytes/image
+	// 10x byte reduction -> only 1.86x (clipped by the roof)
+}

@@ -1,0 +1,117 @@
+// Package queueing implements the paper's throughput analysis (Appendix
+// A.2): the closed-loop data pipeline feeding an open compute unit, analyzed
+// with Little's law. It predicts loader throughput from mean record size and
+// device bandwidth (Lemmas A.1–A.2), the speedup of a scan group (Lemma
+// A.3), and the whole-pipeline bound X ≤ min(Xc, Xg) (Lemma A.4 /
+// Theorem A.5, visualized in Figure 14).
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pipeline captures the two-stage model's parameters.
+type Pipeline struct {
+	// BandwidthBps is the storage system's aggregate delivery rate W.
+	BandwidthBps float64
+	// ComputeImagesPerSec is the compute unit's saturated service rate Xc.
+	ComputeImagesPerSec float64
+}
+
+// LoaderThroughput returns Xg = W / E[s(x, g)] (Lemma A.2): the closed-loop
+// loader's image rate when the mean image costs meanBytes at the chosen scan
+// group.
+func (p Pipeline) LoaderThroughput(meanBytes float64) (float64, error) {
+	if meanBytes <= 0 {
+		return 0, fmt.Errorf("queueing: non-positive mean image size %v", meanBytes)
+	}
+	if p.BandwidthBps <= 0 {
+		return 0, fmt.Errorf("queueing: non-positive bandwidth %v", p.BandwidthBps)
+	}
+	return p.BandwidthBps / meanBytes, nil
+}
+
+// SystemThroughput returns X = min(Xc, Xg) (Lemma A.4): the training
+// pipeline's image rate at the given mean image size.
+func (p Pipeline) SystemThroughput(meanBytes float64) (float64, error) {
+	xg, err := p.LoaderThroughput(meanBytes)
+	if err != nil {
+		return 0, err
+	}
+	if p.ComputeImagesPerSec > 0 && p.ComputeImagesPerSec < xg {
+		return p.ComputeImagesPerSec, nil
+	}
+	return xg, nil
+}
+
+// Speedup returns the maximum achievable speedup of reading scan group g
+// instead of the baseline (Theorem A.5): E[s(x)] / E[s(x,g)], clipped by the
+// compute roofline.
+func (p Pipeline) Speedup(baselineMeanBytes, groupMeanBytes float64) (float64, error) {
+	xBase, err := p.SystemThroughput(baselineMeanBytes)
+	if err != nil {
+		return 0, err
+	}
+	xGroup, err := p.SystemThroughput(groupMeanBytes)
+	if err != nil {
+		return 0, err
+	}
+	return xGroup / xBase, nil
+}
+
+// IsIOBound reports whether the pipeline is storage-bound at the given mean
+// image size (Xg < Xc).
+func (p Pipeline) IsIOBound(meanBytes float64) (bool, error) {
+	xg, err := p.LoaderThroughput(meanBytes)
+	if err != nil {
+		return false, err
+	}
+	return p.ComputeImagesPerSec <= 0 || xg < p.ComputeImagesPerSec, nil
+}
+
+// CrossoverBytes returns the byte intensity at which the pipeline moves from
+// compute-bound to I/O-bound: images smaller than this leave the compute
+// unit as the bottleneck (the knee in Figure 14).
+func (p Pipeline) CrossoverBytes() (float64, error) {
+	if p.ComputeImagesPerSec <= 0 {
+		return 0, fmt.Errorf("queueing: compute rate not set")
+	}
+	if p.BandwidthBps <= 0 {
+		return 0, fmt.Errorf("queueing: bandwidth not set")
+	}
+	return p.BandwidthBps / p.ComputeImagesPerSec, nil
+}
+
+// RooflinePoint is one sample of the Figure 14 curve.
+type RooflinePoint struct {
+	// BytesPerImage is the x-axis byte intensity.
+	BytesPerImage float64
+	// ImagesPerSec is the achieved system throughput.
+	ImagesPerSec float64
+	// IOBound marks which regime the point falls in.
+	IOBound bool
+}
+
+// Roofline sweeps byte intensity over [minBytes, maxBytes] in n
+// multiplicative steps and returns the throughput curve of Figure 14.
+func (p Pipeline) Roofline(minBytes, maxBytes float64, n int) ([]RooflinePoint, error) {
+	if n < 2 || minBytes <= 0 || maxBytes <= minBytes {
+		return nil, fmt.Errorf("queueing: bad sweep [%v,%v]x%d", minBytes, maxBytes, n)
+	}
+	pts := make([]RooflinePoint, 0, n)
+	ratio := maxBytes / minBytes
+	for i := 0; i < n; i++ {
+		b := minBytes * math.Pow(ratio, float64(i)/float64(n-1))
+		x, err := p.SystemThroughput(b)
+		if err != nil {
+			return nil, err
+		}
+		io, err := p.IsIOBound(b)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, RooflinePoint{BytesPerImage: b, ImagesPerSec: x, IOBound: io})
+	}
+	return pts, nil
+}

@@ -1,0 +1,140 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoaderThroughput(t *testing.T) {
+	p := Pipeline{BandwidthBps: 400e6, ComputeImagesPerSec: 4240}
+	x, err := p.LoaderThroughput(110e3) // ImageNet-like mean image
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 400e6 / 110e3
+	if math.Abs(x-want) > 1e-9 {
+		t.Errorf("Xg = %v, want %v", x, want)
+	}
+}
+
+func TestSystemThroughputMinRule(t *testing.T) {
+	p := Pipeline{BandwidthBps: 400e6, ComputeImagesPerSec: 4240}
+	// Large images: I/O bound.
+	x, _ := p.SystemThroughput(400e3)
+	if x != 1000 {
+		t.Errorf("I/O-bound X = %v, want 1000", x)
+	}
+	// Tiny images: compute bound.
+	x, _ = p.SystemThroughput(10e3)
+	if x != 4240 {
+		t.Errorf("compute-bound X = %v, want 4240", x)
+	}
+}
+
+func TestSpeedupTheoremA5(t *testing.T) {
+	// Deep in the I/O-bound regime, speedup equals the size ratio.
+	p := Pipeline{BandwidthBps: 100e6, ComputeImagesPerSec: 1e9}
+	s, err := p.Speedup(110e3, 55e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2) > 1e-9 {
+		t.Errorf("speedup = %v, want 2", s)
+	}
+	// Near the compute roofline the speedup is clipped.
+	p.ComputeImagesPerSec = 1500
+	s, _ = p.Speedup(110e3, 11e3) // raw ratio 10x
+	raw := 10.0
+	if s >= raw {
+		t.Errorf("speedup %v not clipped below raw ratio %v", s, raw)
+	}
+	if s <= 1 {
+		t.Errorf("speedup %v should still exceed 1", s)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	p := Pipeline{BandwidthBps: 400e6, ComputeImagesPerSec: 4000}
+	c, err := p.CrossoverBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-100e3) > 1e-9 {
+		t.Errorf("crossover = %v, want 100e3", c)
+	}
+	io, _ := p.IsIOBound(c * 1.01)
+	if !io {
+		t.Error("just above crossover should be I/O bound")
+	}
+	io, _ = p.IsIOBound(c * 0.99)
+	if io {
+		t.Error("just below crossover should be compute bound")
+	}
+}
+
+func TestRooflineShape(t *testing.T) {
+	p := Pipeline{BandwidthBps: 400e6, ComputeImagesPerSec: 4240}
+	pts, err := p.Roofline(5e3, 500e3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 40 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Throughput must be non-increasing in byte intensity, flat at the
+	// compute roof, and 1/x beyond the knee.
+	sawFlat, sawDecline := false, false
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ImagesPerSec > pts[i-1].ImagesPerSec+1e-9 {
+			t.Fatalf("throughput increased at %v bytes", pts[i].BytesPerImage)
+		}
+		if pts[i].ImagesPerSec == pts[i-1].ImagesPerSec {
+			sawFlat = true
+		} else {
+			sawDecline = true
+		}
+	}
+	if !sawFlat || !sawDecline {
+		t.Errorf("roofline should have both a flat roof and a declining slope (flat=%v decline=%v)", sawFlat, sawDecline)
+	}
+}
+
+func TestSpeedupNeverExceedsSizeRatioQuick(t *testing.T) {
+	f := func(w, xc uint32, base, group uint16) bool {
+		p := Pipeline{
+			BandwidthBps:        float64(w%1000+1) * 1e6,
+			ComputeImagesPerSec: float64(xc%10000 + 1),
+		}
+		b := float64(base%500+1) * 1e3
+		g := float64(group%500+1) * 1e3
+		if g > b {
+			b, g = g, b
+		}
+		s, err := p.Speedup(b, g)
+		if err != nil {
+			return false
+		}
+		return s <= b/g+1e-9 && s >= 1-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	p := Pipeline{}
+	if _, err := p.LoaderThroughput(100); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	p = Pipeline{BandwidthBps: 1e6}
+	if _, err := p.LoaderThroughput(0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := p.CrossoverBytes(); err == nil {
+		t.Error("missing compute rate accepted")
+	}
+	if _, err := p.Roofline(10, 5, 10); err == nil {
+		t.Error("inverted sweep accepted")
+	}
+}

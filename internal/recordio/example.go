@@ -1,0 +1,71 @@
+package recordio
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Example is the payload stored in one TFRecord frame: a labeled encoded
+// image, mirroring tf.train.Example's role.
+type Example struct {
+	// ID is the sample's dataset-wide index.
+	ID int64
+	// Label is the task label.
+	Label int64
+	// JPEG holds the encoded image bytes.
+	JPEG []byte
+}
+
+// Field numbers of the Example wire message.
+const (
+	fieldID    = 1
+	fieldLabel = 2
+	fieldJPEG  = 3
+)
+
+// Marshal encodes the example in protobuf wire format.
+func (e *Example) Marshal() []byte {
+	enc := wire.NewEncoder(nil)
+	enc.Uint64(fieldID, uint64(e.ID))
+	enc.Int64(fieldLabel, e.Label)
+	enc.Bytes(fieldJPEG, e.JPEG)
+	return enc.Encode()
+}
+
+// UnmarshalExample decodes an Example from wire format.
+func UnmarshalExample(data []byte) (*Example, error) {
+	e := &Example{}
+	d := wire.NewDecoder(data)
+	for !d.Done() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("recordio: example: %w", err)
+		}
+		switch field {
+		case fieldID:
+			v, err := d.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			e.ID = int64(v)
+		case fieldLabel:
+			v, err := d.Int64()
+			if err != nil {
+				return nil, err
+			}
+			e.Label = v
+		case fieldJPEG:
+			v, err := d.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			e.JPEG = append([]byte(nil), v...)
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,139 @@
+package recordio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FilePerImage is the simplest dataset layout: one encoded image per file,
+// grouped into per-class directories, the way PyTorch's ImageFolder expects.
+// The paper's Figure 1 contrasts its highly random read behaviour with
+// record layouts.
+type FilePerImage struct {
+	dir string
+}
+
+// CreateFilePerImage initializes the layout rooted at dir.
+func CreateFilePerImage(dir string) (*FilePerImage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recordio: %w", err)
+	}
+	return &FilePerImage{dir: dir}, nil
+}
+
+// OpenFilePerImage opens an existing layout.
+func OpenFilePerImage(dir string) (*FilePerImage, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("recordio: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("recordio: %s is not a directory", dir)
+	}
+	return &FilePerImage{dir: dir}, nil
+}
+
+// Put stores one image under its label's class directory.
+func (f *FilePerImage) Put(id int64, label int64, jpeg []byte) error {
+	classDir := filepath.Join(f.dir, fmt.Sprintf("class-%04d", label))
+	if err := os.MkdirAll(classDir, 0o755); err != nil {
+		return fmt.Errorf("recordio: %w", err)
+	}
+	path := filepath.Join(classDir, fmt.Sprintf("%08d.jpg", id))
+	if err := os.WriteFile(path, jpeg, 0o644); err != nil {
+		return fmt.Errorf("recordio: %w", err)
+	}
+	return nil
+}
+
+// Entry locates one stored image.
+type Entry struct {
+	ID    int64
+	Label int64
+	Path  string
+	Size  int64
+}
+
+// List enumerates all stored images sorted by ID.
+func (f *FilePerImage) List() ([]Entry, error) {
+	var entries []Entry
+	classDirs, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("recordio: %w", err)
+	}
+	for _, cd := range classDirs {
+		if !cd.IsDir() || !strings.HasPrefix(cd.Name(), "class-") {
+			continue
+		}
+		label, err := strconv.ParseInt(strings.TrimPrefix(cd.Name(), "class-"), 10, 64)
+		if err != nil {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(f.dir, cd.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("recordio: %w", err)
+		}
+		for _, fe := range files {
+			name := fe.Name()
+			if !strings.HasSuffix(name, ".jpg") {
+				continue
+			}
+			id, err := strconv.ParseInt(strings.TrimSuffix(name, ".jpg"), 10, 64)
+			if err != nil {
+				continue
+			}
+			info, err := fe.Info()
+			if err != nil {
+				return nil, fmt.Errorf("recordio: %w", err)
+			}
+			entries = append(entries, Entry{
+				ID:    id,
+				Label: label,
+				Path:  filepath.Join(f.dir, cd.Name(), name),
+				Size:  info.Size(),
+			})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	return entries, nil
+}
+
+// Get reads one image by entry.
+func (f *FilePerImage) Get(e Entry) ([]byte, error) {
+	data, err := os.ReadFile(e.Path)
+	if err != nil {
+		return nil, fmt.Errorf("recordio: %w", err)
+	}
+	return data, nil
+}
+
+// WriteManifest stores a deterministic listing (id label path size per
+// line), which loaders use to avoid directory walks on every epoch.
+func (f *FilePerImage) WriteManifest() error {
+	entries, err := f.List()
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(filepath.Join(f.dir, "manifest.txt"))
+	if err != nil {
+		return fmt.Errorf("recordio: %w", err)
+	}
+	defer out.Close()
+	w := bufio.NewWriter(out)
+	for _, e := range entries {
+		rel, err := filepath.Rel(f.dir, e.Path)
+		if err != nil {
+			return fmt.Errorf("recordio: %w", err)
+		}
+		fmt.Fprintf(w, "%d %d %s %d\n", e.ID, e.Label, rel, e.Size)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("recordio: %w", err)
+	}
+	return nil
+}

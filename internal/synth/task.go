@@ -1,0 +1,54 @@
+package synth
+
+import "fmt"
+
+// Task remaps a dataset's fine labels into the label space a training job
+// uses. The paper's Cars experiments (§4.3) show that the same PCR dataset
+// serves multiclass, make-only, and binary tasks — only the remap changes.
+type Task struct {
+	// Name identifies the task ("multiclass", "make-only", "binary").
+	Name string
+	// NumClasses is the size of the remapped label space.
+	NumClasses int
+	// Map converts a fine label into the task's label.
+	Map func(fine int) int
+}
+
+// Multiclass is the identity task over all fine classes.
+func Multiclass(p Profile) Task {
+	return Task{
+		Name:       "multiclass",
+		NumClasses: p.FineClasses,
+		Map:        func(f int) int { return f },
+	}
+}
+
+// CoarseOnly groups fine labels into their coarse class — the paper's
+// "Make-Only" Cars variant.
+func CoarseOnly(p Profile) Task {
+	per := p.FineClasses / p.CoarseClasses
+	return Task{
+		Name:       "make-only",
+		NumClasses: p.CoarseClasses,
+		Map:        func(f int) int { return f / per },
+	}
+}
+
+// Binary is one-vs-rest detection of a single coarse class — the paper's
+// "Is-Corvette" Cars variant.
+func Binary(p Profile, target int) (Task, error) {
+	if target < 0 || target >= p.CoarseClasses {
+		return Task{}, fmt.Errorf("synth: binary target %d out of range [0,%d)", target, p.CoarseClasses)
+	}
+	per := p.FineClasses / p.CoarseClasses
+	return Task{
+		Name:       "binary",
+		NumClasses: 2,
+		Map: func(f int) int {
+			if f/per == target {
+				return 1
+			}
+			return 0
+		},
+	}, nil
+}
