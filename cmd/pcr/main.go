@@ -1,32 +1,31 @@
-// Command pcr creates, inspects, and decodes Progressive Compressed Record
-// datasets on disk.
+// Command pcr creates, inspects, and decodes image datasets through the
+// public pcr package (see package repro/pcr), in any of its storage formats:
+// Progressive Compressed Records, TFRecord framing, or file-per-image.
 //
 // Usage:
 //
-//	pcr synth   -dataset cars -out DIR [-scale 0.5] [-seed 42] [-per-record 32] [-baseline DIR]
-//	pcr encode  -from DIR -out DIR [-per-record 32]
-//	pcr inspect -dataset DIR
-//	pcr decode  -dataset DIR -record N -group G -out DIR
+//	pcr synth   -dataset cars -out DIR [-format pcr] [-scale 0.5] [-seed 42] [-per-record 32] [-scan-groups N] [-baseline DIR]
+//	pcr encode  -from DIR -out DIR [-format pcr] [-per-record 32] [-scan-groups N]
+//	pcr inspect -dataset DIR [-format pcr]
+//	pcr decode  -dataset DIR -record N -quality Q -out DIR
 //
 // `synth` generates one of the paper's synthetic dataset profiles and
-// encodes it as a PCR dataset (optionally also writing the File-per-Image
+// encodes it in the chosen format (optionally also writing the File-per-Image
 // baseline layout). `encode` converts an existing File-per-Image layout of
-// JPEGs into PCR form — the jpegtran-and-rearrange role of the paper's
-// encoder. `inspect` prints the record index and scan-group sizes.
-// `decode` materializes a record's images at a scan group as PNG files.
+// JPEGs into a record format — the jpegtran-and-rearrange role of the
+// paper's encoder. `inspect` prints the record index and per-quality sizes.
+// `decode` materializes a record's images at a quality level as PNG files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"image/png"
 	"os"
 	"path/filepath"
 
-	"repro/internal/core"
-	"repro/internal/jpegc"
-	"repro/internal/recordio"
-	"repro/internal/synth"
+	"repro/pcr"
 )
 
 func main() {
@@ -56,140 +55,171 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pcr <synth|encode|inspect|decode> [flags]
-  synth   -dataset NAME -out DIR [-scale F] [-seed N] [-per-record N] [-baseline DIR]
-  encode  -from DIR -out DIR [-per-record N]
-  inspect -dataset DIR
-  decode  -dataset DIR -record N -group G -out DIR`)
+  synth   -dataset NAME -out DIR [-format pcr|tfrecord|fileperimage] [-scale F] [-seed N] [-per-record N] [-scan-groups N] [-baseline DIR]
+  encode  -from DIR -out DIR [-format pcr|tfrecord|fileperimage] [-per-record N] [-scan-groups N]
+  inspect -dataset DIR [-format pcr|tfrecord|fileperimage]
+  decode  -dataset DIR -record N -quality Q -out DIR`)
+}
+
+// formatFlag registers -format and resolves it after parsing.
+func formatFlag(fs *flag.FlagSet) func() (pcr.Format, error) {
+	name := fs.String("format", "pcr", "storage format: pcr, tfrecord, fileperimage")
+	return func() (pcr.Format, error) { return pcr.FormatByName(*name) }
 }
 
 func cmdSynth(args []string) error {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
 	name := fs.String("dataset", "cars", "profile: imagenet, celebahq, ham10000, cars")
-	out := fs.String("out", "", "output PCR dataset directory")
+	out := fs.String("out", "", "output dataset directory")
+	format := formatFlag(fs)
 	scale := fs.Float64("scale", 1.0, "dataset size multiplier")
 	seed := fs.Int64("seed", 42, "generation seed")
 	perRecord := fs.Int("per-record", 32, "images per record")
+	scanGroups := fs.Int("scan-groups", 0, "coalesce progressive scans into N groups (0 = one per scan)")
 	baseline := fs.String("baseline", "", "also write a File-per-Image baseline layout here")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("synth: -out is required")
 	}
-	profile, err := synth.ProfileByName(*name)
+	f, err := format()
 	if err != nil {
 		return err
 	}
-	ds, err := synth.Generate(profile.Scaled(*scale), *seed)
+	opts := []pcr.Option{
+		pcr.WithFormat(f),
+		pcr.WithImagesPerRecord(*perRecord),
+		pcr.WithScanGroups(*scanGroups),
+	}
+	n, err := pcr.Synthesize(*out, *name, *scale, *seed, opts...)
 	if err != nil {
 		return err
 	}
-	w, err := core.CreateDataset(*out, &core.DatasetOptions{ImagesPerRecord: *perRecord})
-	if err != nil {
-		return err
-	}
-	var fpi *recordio.FilePerImage
 	if *baseline != "" {
-		fpi, err = recordio.CreateFilePerImage(*baseline)
-		if err != nil {
+		// Copy the just-written dataset instead of synthesizing and encoding
+		// the images a second time (encoding dominates synth wall time).
+		if err := copyToFilePerImage(*out, f, *baseline); err != nil {
 			return err
 		}
 	}
-	for _, s := range ds.Train {
-		data, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: profile.JPEGQuality, Subsample420: true})
-		if err != nil {
-			return err
-		}
-		if err := w.Append(core.Sample{ID: int64(s.ID), Label: int64(s.Label), JPEG: data}); err != nil {
-			return err
-		}
-		if fpi != nil {
-			if err := fpi.Put(int64(s.ID), int64(s.Label), data); err != nil {
-				return err
-			}
-		}
-	}
-	if err := w.Close(); err != nil {
+	fmt.Printf("wrote %d train images of %s to %s (%s format)\n", n, *name, *out, f.Name())
+	return nil
+}
+
+// copyToFilePerImage streams the dataset at src (in srcFormat) into a
+// File-per-Image baseline layout at dst.
+func copyToFilePerImage(src string, srcFormat pcr.Format, dst string) error {
+	ds, err := pcr.Open(src, pcr.WithFormat(srcFormat))
+	if err != nil {
 		return err
 	}
-	if fpi != nil {
-		if err := fpi.WriteManifest(); err != nil {
+	defer ds.Close()
+	w, err := pcr.Create(dst, pcr.WithFormat(pcr.FilePerImage))
+	if err != nil {
+		return err
+	}
+	for s, err := range ds.ScanEncoded(context.Background(), pcr.Full) {
+		if err != nil {
+			return err
+		}
+		if err := w.Append(s); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("wrote %d train images of %s to %s\n", len(ds.Train), profile.Name, *out)
-	return nil
+	return w.Close()
 }
 
 func cmdEncode(args []string) error {
 	fs := flag.NewFlagSet("encode", flag.ExitOnError)
 	from := fs.String("from", "", "File-per-Image source directory")
-	out := fs.String("out", "", "output PCR dataset directory")
+	out := fs.String("out", "", "output dataset directory")
+	format := formatFlag(fs)
 	perRecord := fs.Int("per-record", 32, "images per record")
+	scanGroups := fs.Int("scan-groups", 0, "coalesce progressive scans into N groups (0 = one per scan)")
 	fs.Parse(args)
 	if *from == "" || *out == "" {
 		return fmt.Errorf("encode: -from and -out are required")
 	}
-	src, err := recordio.OpenFilePerImage(*from)
+	f, err := format()
 	if err != nil {
 		return err
 	}
-	entries, err := src.List()
+	src, err := pcr.Open(*from, pcr.WithFormat(pcr.FilePerImage))
 	if err != nil {
 		return err
 	}
-	if len(entries) == 0 {
+	defer src.Close()
+	if src.NumImages() == 0 {
 		return fmt.Errorf("encode: no images under %s", *from)
 	}
-	w, err := core.CreateDataset(*out, &core.DatasetOptions{ImagesPerRecord: *perRecord})
+	w, err := pcr.Create(*out, pcr.WithFormat(f), pcr.WithImagesPerRecord(*perRecord), pcr.WithScanGroups(*scanGroups))
 	if err != nil {
 		return err
 	}
-	for _, e := range entries {
-		data, err := src.Get(e)
+	for s, err := range src.ScanEncoded(context.Background(), pcr.Full) {
 		if err != nil {
 			return err
 		}
-		if err := w.Append(core.Sample{ID: e.ID, Label: e.Label, JPEG: data}); err != nil {
+		if err := w.Append(s); err != nil {
 			return err
 		}
 	}
 	if err := w.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("encoded %d images into PCR dataset %s\n", len(entries), *out)
+	fmt.Printf("encoded %d images into %s dataset %s\n", w.Count(), f.Name(), *out)
 	return nil
 }
 
 func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
-	dir := fs.String("dataset", "", "PCR dataset directory")
+	dir := fs.String("dataset", "", "dataset directory")
+	format := formatFlag(fs)
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("inspect: -dataset is required")
 	}
-	ds, err := core.OpenDataset(*dir)
+	f, err := format()
+	if err != nil {
+		return err
+	}
+	ds, err := pcr.Open(*dir, pcr.WithFormat(f))
 	if err != nil {
 		return err
 	}
 	defer ds.Close()
-	fmt.Printf("dataset: %s\n  records: %d\n  images:  %d\n  scan groups: %d\n",
-		*dir, ds.NumRecords(), ds.NumImages(), ds.NumGroups)
-	fmt.Printf("%8s %8s %12s  %s\n", "record", "images", "full bytes", "prefix bytes by scan group")
-	for i := 0; i < ds.NumRecords(); i++ {
-		n, err := ds.RecordSamples(i)
+	fmt.Printf("dataset: %s (%s format)\n  records: %d\n  images:  %d\n  quality levels: %d\n",
+		*dir, ds.Format().Name(), ds.NumRecords(), ds.NumImages(), ds.Qualities())
+	fullSize, err := ds.SizeAtQuality(pcr.Full)
+	if err != nil {
+		return err
+	}
+	for q := 1; q <= ds.Qualities(); q++ {
+		size, err := ds.SizeAtQuality(q)
 		if err != nil {
 			return err
 		}
-		full, err := ds.RecordPrefixLen(i, ds.NumGroups)
+		fmt.Printf("  quality %2d: %12d bytes (%.1f%% of full)\n", q, size, 100*float64(size)/float64(fullSize))
+	}
+	if ds.Format() != pcr.PCR {
+		return nil
+	}
+	fmt.Printf("%8s %8s %12s  %s\n", "record", "images", "full bytes", "prefix bytes by quality")
+	for i := 0; i < ds.NumRecords(); i++ {
+		n, err := ds.RecordImages(i)
+		if err != nil {
+			return err
+		}
+		full, err := ds.RecordPrefixLen(i, pcr.Full)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%8d %8d %12d  ", i, n, full)
-		for g := 1; g <= ds.NumGroups; g++ {
-			p, err := ds.RecordPrefixLen(i, g)
+		for q := 1; q <= ds.Qualities(); q++ {
+			p, err := ds.RecordPrefixLen(i, q)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%d:%d ", g, p)
+			fmt.Printf("%d:%d ", q, p)
 		}
 		fmt.Println()
 	}
@@ -200,35 +230,35 @@ func cmdDecode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	dir := fs.String("dataset", "", "PCR dataset directory")
 	record := fs.Int("record", 0, "record index")
-	group := fs.Int("group", 1, "scan group to read")
+	quality := fs.Int("quality", 1, "quality level (scan group) to read")
 	out := fs.String("out", "", "output directory for PNG files")
 	fs.Parse(args)
 	if *dir == "" || *out == "" {
 		return fmt.Errorf("decode: -dataset and -out are required")
 	}
-	ds, err := core.OpenDataset(*dir)
+	ds, err := pcr.Open(*dir)
 	if err != nil {
 		return err
 	}
 	defer ds.Close()
-	samples, err := ds.ReadRecordAt(*record, *group)
+	samples, err := ds.ReadRecord(context.Background(), *record, *quality)
 	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
-	bytesRead, err := ds.RecordPrefixLen(*record, *group)
+	bytesRead, err := ds.RecordPrefixLen(*record, *quality)
 	if err != nil {
 		return err
 	}
 	for _, s := range samples {
-		path := filepath.Join(*out, fmt.Sprintf("img-%06d-label%d-scan%d.png", s.ID, s.Label, *group))
+		path := filepath.Join(*out, fmt.Sprintf("img-%06d-label%d-q%d.png", s.ID, s.Label, *quality))
 		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		if err := png.Encode(f, s.Img); err != nil {
+		if err := png.Encode(f, s.Image); err != nil {
 			f.Close()
 			return err
 		}
@@ -236,7 +266,7 @@ func cmdDecode(args []string) error {
 			return err
 		}
 	}
-	fmt.Printf("decoded %d images from record %d at scan group %d (%d bytes read) into %s\n",
-		len(samples), *record, *group, bytesRead, *out)
+	fmt.Printf("decoded %d images from record %d at quality %d (%d bytes read) into %s\n",
+		len(samples), *record, *quality, bytesRead, *out)
 	return nil
 }

@@ -1,10 +1,13 @@
 // Command pcrbench is the reader microbenchmark of §A.5 run against a real
-// on-disk PCR dataset: N goroutines read record prefixes at a scan group,
-// optionally decoding every image, and the tool reports images/second and
-// effective bandwidth per scan group (the measured side of Figure 18).
+// on-disk dataset through the public pcr package: N parallel readers fetch
+// record prefixes at each quality level — optionally decoding every image —
+// and the tool reports images/second and effective bandwidth per quality
+// (the measured side of Figure 18). Formats without record-level access
+// (tfrecord, fileperimage) are measured through the streaming Scan path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -12,90 +15,138 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/pcr"
 )
 
 func main() {
-	dir := flag.String("dataset", "", "PCR dataset directory")
-	threads := flag.Int("threads", 8, "reader goroutines")
-	passes := flag.Int("passes", 3, "passes over the dataset per scan group")
+	dir := flag.String("dataset", "", "dataset directory")
+	formatName := flag.String("format", "pcr", "storage format: pcr, tfrecord, fileperimage")
+	workers := flag.Int("workers", 8, "parallel readers (decode workers for stream formats)")
+	passes := flag.Int("passes", 3, "passes over the dataset per quality level")
 	decode := flag.Bool("decode", false, "also decode every image")
+	cacheMB := flag.Int64("cache-mb", 0, "LRU prefix cache budget in MiB (0 = no cache)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "pcrbench: -dataset is required")
 		os.Exit(2)
 	}
-	if err := run(*dir, *threads, *passes, *decode); err != nil {
+	if err := run(*dir, *formatName, *workers, *passes, *decode, *cacheMB); err != nil {
 		fmt.Fprintln(os.Stderr, "pcrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, threads, passes int, decode bool) error {
-	ds, err := core.OpenDataset(dir)
+func run(dir, formatName string, workers, passes int, decode bool, cacheMB int64) error {
+	format, err := pcr.FormatByName(formatName)
+	if err != nil {
+		return err
+	}
+	ds, err := pcr.Open(dir,
+		pcr.WithFormat(format),
+		pcr.WithPrefetchWorkers(workers),
+		pcr.WithCacheBytes(cacheMB<<20),
+	)
 	if err != nil {
 		return err
 	}
 	defer ds.Close()
-	fmt.Printf("dataset %s: %d records, %d images, %d scan groups; %d threads, decode=%v\n",
-		dir, ds.NumRecords(), ds.NumImages(), ds.NumGroups, threads, decode)
-	fmt.Printf("%5s %12s %14s %12s\n", "scan", "images/s", "bandwidth", "elapsed")
+	mode := fmt.Sprintf("%d parallel readers", workers)
+	if format != pcr.PCR {
+		mode = fmt.Sprintf("single reader stream, %d decode workers", workers)
+	}
+	fmt.Printf("dataset %s (%s): %d records, %d images, %d quality levels; %s, decode=%v\n",
+		dir, ds.Format().Name(), ds.NumRecords(), ds.NumImages(), ds.Qualities(), mode, decode)
+	fmt.Printf("%8s %12s %14s %12s\n", "quality", "images/s", "bandwidth", "elapsed")
 
-	for g := 1; g <= ds.NumGroups; g++ {
-		var images, bytes int64
-		work := make(chan int, ds.NumRecords()*passes)
-		for p := 0; p < passes; p++ {
-			for r := 0; r < ds.NumRecords(); r++ {
-				work <- r
-			}
-		}
-		close(work)
-
-		start := time.Now()
-		var wg sync.WaitGroup
-		errCh := make(chan error, threads)
-		for t := 0; t < threads; t++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for r := range work {
-					prefix, meta, err := ds.ReadRecordPrefix(r, g)
-					if err != nil {
-						errCh <- err
-						return
-					}
-					atomic.AddInt64(&bytes, int64(len(prefix)))
-					if decode {
-						for i := range meta.Samples {
-							if _, err := meta.DecodeSample(prefix, i, minInt(g, meta.NumGroups)); err != nil {
-								errCh <- err
-								return
-							}
-						}
-					}
-					atomic.AddInt64(&images, int64(len(meta.Samples)))
-				}
-			}()
-		}
-		wg.Wait()
-		select {
-		case err := <-errCh:
+	for q := 1; q <= ds.Qualities(); q++ {
+		size, err := ds.SizeAtQuality(q)
+		if err != nil {
 			return err
-		default:
+		}
+		var images int64
+		start := time.Now()
+		if format == pcr.PCR {
+			images, err = benchRecords(ds, q, workers, passes, decode)
+		} else {
+			images, err = benchStream(ds, q, passes, decode)
+		}
+		if err != nil {
+			return err
 		}
 		elapsed := time.Since(start)
-		fmt.Printf("%5d %12.0f %11.1f MB/s %12v\n",
-			g,
+		fmt.Printf("%8d %12.0f %11.1f MB/s %12v\n",
+			q,
 			float64(images)/elapsed.Seconds(),
-			float64(bytes)/elapsed.Seconds()/1e6,
+			float64(size)*float64(passes)/elapsed.Seconds()/1e6,
 			elapsed.Round(time.Millisecond))
+	}
+	if stats, ok := ds.CacheStats(); ok {
+		fmt.Printf("cache: %d hits, %d upgrade hits, %d misses, %d evictions, %d bytes fetched\n",
+			stats.Hits, stats.UpgradeHits, stats.Misses, stats.Evictions, stats.BytesFetched)
 	}
 	return nil
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+// benchRecords drives the §A.5 structure: worker goroutines pull record
+// indices from a shared queue and issue independent prefix reads.
+func benchRecords(ds *pcr.Dataset, q, workers, passes int, decode bool) (int64, error) {
+	work := make(chan int, ds.NumRecords()*passes)
+	for p := 0; p < passes; p++ {
+		for r := 0; r < ds.NumRecords(); r++ {
+			work <- r
+		}
 	}
-	return b
+	close(work)
+
+	ctx := context.Background()
+	var images int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				var samples []pcr.Sample
+				var err error
+				if decode {
+					samples, err = ds.ReadRecord(ctx, r, q)
+				} else {
+					samples, err = ds.ReadRecordEncoded(r, q)
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				atomic.AddInt64(&images, int64(len(samples)))
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return images, err
+	default:
+	}
+	return images, nil
+}
+
+// benchStream measures formats that only stream: one sequential reader,
+// with Scan's worker pool handling decode when requested.
+func benchStream(ds *pcr.Dataset, q, passes int, decode bool) (int64, error) {
+	ctx := context.Background()
+	var images int64
+	for p := 0; p < passes; p++ {
+		scan := ds.ScanEncoded
+		if decode {
+			scan = ds.Scan
+		}
+		for _, err := range scan(ctx, q) {
+			if err != nil {
+				return images, err
+			}
+			images++
+		}
+	}
+	return images, nil
 }

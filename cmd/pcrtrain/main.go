@@ -1,6 +1,7 @@
 // Command pcrtrain runs one training configuration of the reproduction
-// harness: a synthetic dataset, a model profile, a task granularity, and a
-// scan group (or dynamic tuning), printing the per-epoch curve.
+// harness: a synthetic dataset (built through the public pcr package), a
+// model profile, a task granularity, and a scan group (or dynamic tuning),
+// printing the per-epoch curve.
 //
 //	pcrtrain -dataset cars -model shufflenetlike -task multiclass -group 2
 //	pcrtrain -dataset ham10000 -model resnetlike -dynamic cosine
@@ -16,6 +17,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/synth"
 	"repro/internal/train"
+	"repro/pcr"
 )
 
 func main() {
@@ -36,22 +38,15 @@ func main() {
 }
 
 func run(dataset, model, taskName string, group int, dynamic string, mix float64, epochs int, scale float64, seed int64) error {
-	profile, err := synth.ProfileByName(dataset)
-	if err != nil {
-		return err
-	}
 	mp, err := nn.ProfileByName(model)
 	if err != nil {
 		return err
 	}
-	ds, err := synth.Generate(profile.Scaled(scale), seed)
+	set, err := pcr.BuildTrainSet(dataset, scale, seed, pcr.WithImagesPerRecord(16))
 	if err != nil {
 		return err
 	}
-	set, err := train.BuildPCRSet(ds, 16)
-	if err != nil {
-		return err
-	}
+	profile := set.Profile
 
 	var task synth.Task
 	switch taskName {

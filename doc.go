@@ -3,8 +3,13 @@
 // Amvrosiadis, Smith — VLDB 2021). See README.md for the architecture and
 // DESIGN.md for the system inventory and per-experiment index.
 //
+// Package repro/pcr is the public entry point: it exposes the paper's three
+// storage layouts (PCR, TFRecord, file-per-image) behind one Format
+// interface, with Create/Open constructors, functional options, and a
+// streaming, cache-aware, concurrently-decoding Scan iterator. The
+// implementation lives under internal/ and the executables under cmd/.
+//
 // The root package holds only the benchmark harness (bench_test.go): one
 // benchmark per paper table/figure plus ablation benchmarks for the design
-// choices called out in DESIGN.md. The library lives under internal/ and the
-// executables under cmd/.
+// choices called out in DESIGN.md.
 package repro

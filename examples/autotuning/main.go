@@ -14,6 +14,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/synth"
 	"repro/internal/train"
+	"repro/pcr"
 )
 
 func main() {
@@ -23,17 +24,12 @@ func main() {
 }
 
 func run() error {
-	profile := synth.HAM10000.Scaled(0.6)
-	ds, err := synth.Generate(profile, 11)
-	if err != nil {
-		return err
-	}
-	set, err := train.BuildPCRSet(ds, 16)
+	set, err := pcr.BuildTrainSet("ham10000", 0.6, 11, pcr.WithImagesPerRecord(16))
 	if err != nil {
 		return err
 	}
 
-	task := synth.Multiclass(profile)
+	task := synth.Multiclass(set.Profile)
 	const epochs = 24
 
 	// Static baseline: always read every scan group.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/synth"
 	"repro/internal/train"
+	"repro/pcr"
 )
 
 func main() {
@@ -22,15 +23,11 @@ func main() {
 }
 
 func run() error {
-	profile := synth.Cars.Scaled(0.5)
-	ds, err := synth.Generate(profile, 7)
+	set, err := pcr.BuildTrainSet("cars", 0.5, 7, pcr.WithImagesPerRecord(16))
 	if err != nil {
 		return err
 	}
-	set, err := train.BuildPCRSet(ds, 16)
-	if err != nil {
-		return err
-	}
+	profile := set.Profile
 	fmt.Printf("one PCR dataset: %d train images, %d records, %d scan groups\n\n",
 		set.NumTrain(), set.NumRecords(), set.NumGroups)
 

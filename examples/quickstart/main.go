@@ -1,19 +1,20 @@
-// Quickstart: create a PCR dataset on disk, read it back at several scan
-// groups, and show the byte-vs-quality trade-off.
+// Quickstart: create a PCR dataset on disk through the public pcr package,
+// stream it back at several quality levels, and show the byte-vs-quality
+// trade-off.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"image"
 	"log"
 	"os"
 	"path/filepath"
 
-	"repro/internal/core"
-	"repro/internal/jpegc"
 	"repro/internal/mssim"
-	"repro/internal/synth"
+	"repro/pcr"
 )
 
 func main() {
@@ -32,64 +33,53 @@ func run() error {
 
 	// 1. Generate a small synthetic Stanford-Cars-like dataset and encode
 	//    it into PCR records: baseline JPEG in, scan-grouped records out.
-	profile := synth.Cars.Scaled(0.25)
-	ds, err := synth.Generate(profile, 1)
+	n, err := pcr.Synthesize(dataset, "cars", 0.25, 1, pcr.WithImagesPerRecord(16))
 	if err != nil {
 		return err
 	}
-	w, err := core.CreateDataset(dataset, &core.DatasetOptions{ImagesPerRecord: 16})
-	if err != nil {
-		return err
-	}
-	for _, s := range ds.Train {
-		jpg, err := jpegc.Encode(s.Img, &jpegc.Options{Quality: profile.JPEGQuality, Subsample420: true})
-		if err != nil {
-			return err
-		}
-		if err := w.Append(core.Sample{ID: int64(s.ID), Label: int64(s.Label), JPEG: jpg}); err != nil {
-			return err
-		}
-	}
-	if err := w.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("encoded %d images into %s\n\n", len(ds.Train), dataset)
+	fmt.Printf("encoded %d images into %s\n\n", n, dataset)
 
-	// 2. Open it and read record 0 at increasing scan groups. Each read is
-	//    one sequential prefix; more scan groups = more bytes = higher
-	//    quality.
-	pcr, err := core.OpenDataset(dataset)
+	// 2. Open it and stream it at increasing quality levels. Each level is
+	//    one sequential prefix read per record; more quality = more bytes.
+	ds, err := pcr.Open(dataset, pcr.WithPrefetchWorkers(4))
 	if err != nil {
 		return err
 	}
-	defer pcr.Close()
-	fmt.Printf("dataset: %d records, %d images, %d scan groups\n\n",
-		pcr.NumRecords(), pcr.NumImages(), pcr.NumGroups)
+	defer ds.Close()
+	fmt.Printf("dataset: %d records, %d images, %d quality levels\n\n",
+		ds.NumRecords(), ds.NumImages(), ds.Qualities())
 
-	full, err := pcr.ReadRecordAt(0, pcr.NumGroups)
+	ctx := context.Background()
+	firstAt := func(q int) (image.Image, error) {
+		for s, err := range ds.Scan(ctx, q) {
+			return s.Image, err
+		}
+		return nil, fmt.Errorf("empty dataset")
+	}
+	full, err := firstAt(pcr.Full)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%6s %14s %14s %10s\n", "scan", "bytes read", "of full", "MSSIM")
-	for _, g := range []int{1, 2, 5, pcr.NumGroups} {
-		n, err := pcr.RecordPrefixLen(0, g)
+	fullLen, err := ds.SizeAtQuality(pcr.Full)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %14s %14s %10s\n", "quality", "bytes read", "of full", "MSSIM")
+	for _, q := range []int{1, 2, 5, ds.Qualities()} {
+		size, err := ds.SizeAtQuality(q)
 		if err != nil {
 			return err
 		}
-		fullLen, err := pcr.RecordPrefixLen(0, pcr.NumGroups)
-		if err != nil {
-			return err
-		}
-		samples, err := pcr.ReadRecordAt(0, g)
+		img, err := firstAt(q)
 		if err != nil {
 			return err
 		}
 		// Quality of the first image vs its full-quality self.
-		sim, err := mssim.MSSIM(samples[0].Img, full[0].Img)
+		sim, err := mssim.MSSIM(img, full)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%6d %14d %13.1f%% %10.4f\n", g, n, 100*float64(n)/float64(fullLen), sim)
+		fmt.Printf("%8d %14d %13.1f%% %10.4f\n", q, size, 100*float64(size)/float64(fullLen), sim)
 	}
 	fmt.Println("\nreading a prefix of each record file yields every image at that quality —")
 	fmt.Println("no duplication, no random I/O, same total bytes as plain JPEG records.")

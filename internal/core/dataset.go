@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"image"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -15,6 +16,9 @@ type DatasetOptions struct {
 	// ImagesPerRecord is the record batching factor (the paper uses ~1024
 	// images per record at ImageNet scale; pick smaller for small datasets).
 	ImagesPerRecord int
+	// ScanGroups, when positive, coalesces progressive scans into that many
+	// scan groups per record (see RecordOptions.ScanGroups).
+	ScanGroups int
 }
 
 func (o *DatasetOptions) imagesPerRecord() int {
@@ -77,7 +81,7 @@ func (w *DatasetWriter) flush() error {
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	meta, err := WriteRecord(f, w.pending)
+	meta, err := WriteRecordOpts(f, w.pending, &RecordOptions{ScanGroups: w.opts.ScanGroups})
 	if err != nil {
 		f.Close()
 		return err
@@ -275,6 +279,15 @@ func (ds *Dataset) RecordPrefixLen(i, g int) (int64, error) {
 	return re.prefixes[g], nil
 }
 
+// RecordGroups returns the number of scan groups stored in record i (its
+// highest readable quality level).
+func (ds *Dataset) RecordGroups(i int) (int, error) {
+	if i < 0 || i >= ds.numRec {
+		return 0, fmt.Errorf("core: record %d out of range", i)
+	}
+	return len(ds.records[i].prefixes) - 1, nil
+}
+
 // RecordSamples returns the number of images in record i.
 func (ds *Dataset) RecordSamples(i int) (int, error) {
 	if i < 0 || i >= ds.numRec {
@@ -339,14 +352,14 @@ func (ds *Dataset) ReadRecordAt(i, g int) ([]DecodedSample, error) {
 	return out, nil
 }
 
+// readFull fills buf from f. A short read means the file ends before the
+// prefix length the metadata promised — structural damage, not an I/O
+// hiccup — so it is reported as ErrCorrupt (wrapping io.ErrUnexpectedEOF);
+// other errors pass through unwrapped.
 func readFull(f *os.File, buf []byte) (int, error) {
-	total := 0
-	for total < len(buf) {
-		n, err := f.Read(buf[total:])
-		total += n
-		if err != nil {
-			return total, err
-		}
+	n, err := io.ReadFull(f, buf)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return n, fmt.Errorf("%w: truncated record (%w: got %d of %d bytes)", ErrCorrupt, io.ErrUnexpectedEOF, n, len(buf))
 	}
-	return total, nil
+	return n, err
 }

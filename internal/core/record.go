@@ -12,6 +12,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"image"
 	"io"
@@ -22,6 +23,12 @@ import (
 
 // Magic identifies a PCR record file.
 var Magic = [4]byte{'P', 'C', 'R', '1'}
+
+// ErrCorrupt reports a structurally damaged record: a truncated prefix read,
+// a bad magic number, or a metadata section that does not parse. It is
+// distinguishable with errors.Is from transient I/O errors, which are
+// returned unwrapped. The public pcr package re-exports it as pcr.ErrCorrupt.
+var ErrCorrupt = errors.New("corrupt record")
 
 // Sample is one labeled encoded image handed to the record writer. JPEG may
 // be baseline or progressive; baseline inputs are losslessly transcoded.
@@ -94,6 +101,15 @@ const (
 	sfGroupLens = 4
 )
 
+// RecordOptions tune record layout.
+type RecordOptions struct {
+	// ScanGroups, when positive, coalesces the progressive scans into that
+	// many scan groups (the paper's "scan group" knob, §3.1): adjacent scans
+	// are bucketed so the record exposes exactly ScanGroups quality levels.
+	// Zero keeps one group per scan.
+	ScanGroups int
+}
+
 // WriteRecord transcodes the samples to progressive form, rearranges their
 // scans into scan groups, and writes the complete PCR record to w. It
 // returns the parsed metadata of the record it wrote.
@@ -102,6 +118,11 @@ const (
 // grayscale images contribute 6 and simply have empty slices in the
 // remaining groups.
 func WriteRecord(w io.Writer, samples []Sample) (*RecordMeta, error) {
+	return WriteRecordOpts(w, samples, nil)
+}
+
+// WriteRecordOpts is WriteRecord with layout options.
+func WriteRecordOpts(w io.Writer, samples []Sample, opts *RecordOptions) (*RecordMeta, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: empty record")
 	}
@@ -139,6 +160,22 @@ func WriteRecord(w io.Writer, samples []Sample) (*RecordMeta, error) {
 			numGroups = len(p.scans)
 		}
 		preps = append(preps, p)
+	}
+
+	// Coalesce scans into the requested number of scan groups. Scan s
+	// (0-based, of numGroups total) lands in bucket s*k/numGroups, so the
+	// buckets are contiguous scan ranges and grayscale images (fewer scans)
+	// stay aligned with color ones.
+	if k := optScanGroups(opts); k > 0 && k < numGroups {
+		for i := range preps {
+			grouped := make([][]byte, k)
+			for s, scan := range preps[i].scans {
+				g := s * k / numGroups
+				grouped[g] = append(grouped[g], scan...)
+			}
+			preps[i].scans = grouped
+		}
+		numGroups = k
 	}
 
 	// Metadata section.
@@ -187,60 +224,76 @@ func WriteRecord(w io.Writer, samples []Sample) (*RecordMeta, error) {
 	return ParseRecordMeta(full)
 }
 
+func optScanGroups(opts *RecordOptions) int {
+	if opts == nil {
+		return 0
+	}
+	return opts.ScanGroups
+}
+
 // ParseRecordMeta parses a record's metadata section. data must contain at
 // least the magic, the length word, and the metadata bytes (a PrefixLen(0)
 // read suffices; longer prefixes and whole files also work).
 func ParseRecordMeta(data []byte) (*RecordMeta, error) {
 	if len(data) < 8 {
-		return nil, fmt.Errorf("core: short record header")
+		return nil, fmt.Errorf("core: %w: short record header", ErrCorrupt)
 	}
 	if [4]byte(data[0:4]) != Magic {
-		return nil, fmt.Errorf("core: bad magic %q", data[0:4])
+		return nil, fmt.Errorf("core: %w: bad magic %q", ErrCorrupt, data[0:4])
 	}
 	metaLen := int(binary.LittleEndian.Uint32(data[4:8]))
 	if len(data) < 8+metaLen {
-		return nil, fmt.Errorf("core: short metadata section (%d < %d)", len(data)-8, metaLen)
+		return nil, fmt.Errorf("core: %w: short metadata section (%d < %d)", ErrCorrupt, len(data)-8, metaLen)
 	}
 	m := &RecordMeta{BodyStart: int64(8 + metaLen)}
-	d := wire.NewDecoder(data[8 : 8+metaLen])
+	// Any wire-level decode failure inside the metadata section is
+	// structural damage, so the whole parse reports as ErrCorrupt.
+	if err := parseRecordFields(data[8:8+metaLen], m); err != nil {
+		return nil, fmt.Errorf("core: %w: metadata: %v", ErrCorrupt, err)
+	}
+	if m.NumGroups <= 0 {
+		return nil, fmt.Errorf("core: %w: record has no scan groups", ErrCorrupt)
+	}
+	for i, s := range m.Samples {
+		if len(s.GroupLens) != m.NumGroups {
+			return nil, fmt.Errorf("core: %w: sample %d has %d group lengths, want %d", ErrCorrupt, i, len(s.GroupLens), m.NumGroups)
+		}
+	}
+	m.buildOffsets()
+	return m, nil
+}
+
+func parseRecordFields(section []byte, m *RecordMeta) error {
+	d := wire.NewDecoder(section)
 	for !d.Done() {
 		field, wtype, err := d.Next()
 		if err != nil {
-			return nil, fmt.Errorf("core: metadata: %w", err)
+			return err
 		}
 		switch field {
 		case fieldNumGroups:
 			v, err := d.Uint64()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m.NumGroups = int(v)
 		case fieldSample:
 			raw, err := d.Bytes()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sm, err := parseSampleMeta(raw)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m.Samples = append(m.Samples, sm)
 		default:
 			if err := d.Skip(wtype); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	if m.NumGroups <= 0 {
-		return nil, fmt.Errorf("core: record has no scan groups")
-	}
-	for i, s := range m.Samples {
-		if len(s.GroupLens) != m.NumGroups {
-			return nil, fmt.Errorf("core: sample %d has %d group lengths, want %d", i, len(s.GroupLens), m.NumGroups)
-		}
-	}
-	m.buildOffsets()
-	return m, nil
+	return nil
 }
 
 func parseSampleMeta(raw []byte) (SampleMeta, error) {

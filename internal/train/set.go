@@ -47,6 +47,13 @@ type PCRSet struct {
 // baseline JPEG at the profile's quality, then lossless progressive
 // transcode inside WriteRecord) and prepares the test split.
 func BuildPCRSet(ds *synth.Dataset, imagesPerRecord int) (*PCRSet, error) {
+	return BuildPCRSetGrouped(ds, imagesPerRecord, 0)
+}
+
+// BuildPCRSetGrouped is BuildPCRSet with scan-group coalescing: scanGroups
+// > 0 buckets the progressive scans into that many groups per record (see
+// core.RecordOptions.ScanGroups).
+func BuildPCRSetGrouped(ds *synth.Dataset, imagesPerRecord, scanGroups int) (*PCRSet, error) {
 	if imagesPerRecord <= 0 {
 		imagesPerRecord = 32
 	}
@@ -62,7 +69,7 @@ func BuildPCRSet(ds *synth.Dataset, imagesPerRecord int) (*PCRSet, error) {
 			return nil
 		}
 		var buf bytes.Buffer
-		meta, err := core.WriteRecord(&buf, pending)
+		meta, err := core.WriteRecordOpts(&buf, pending, &core.RecordOptions{ScanGroups: scanGroups})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,264 @@
+package pcr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"repro/internal/cache"
+)
+
+// CacheStats snapshots the prefix cache's counters (see WithCacheBytes).
+type CacheStats = cache.Stats
+
+// Dataset is an opened dataset in any Format. Scans are safe to run
+// concurrently; Close invalidates all of them.
+type Dataset struct {
+	r      formatReader
+	cfg    *config
+	closed bool
+}
+
+// Open opens the dataset at dir. The Format option must match the layout on
+// disk (PCR by default); cache and prefetch options configure the read path.
+func Open(dir string, opts ...Option) (*Dataset, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := cfg.format.open(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{r: r, cfg: cfg}, nil
+}
+
+// Close releases the dataset.
+func (d *Dataset) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.r.close()
+}
+
+// Format returns the dataset's storage layout.
+func (d *Dataset) Format() Format { return d.cfg.format }
+
+// NumImages returns the total stored image count.
+func (d *Dataset) NumImages() int { return d.r.numImages() }
+
+// Qualities returns the number of quality levels the dataset stores: the
+// scan-group count for PCR datasets, 1 for the baseline formats.
+func (d *Dataset) Qualities() int { return d.r.qualities() }
+
+// resolveQuality maps Full to the top level and rejects levels the dataset
+// does not store.
+func (d *Dataset) resolveQuality(q int) (int, error) {
+	if d.closed {
+		return 0, fmt.Errorf("pcr: scan: %w", ErrClosed)
+	}
+	top := d.r.qualities()
+	if q == Full {
+		return top, nil
+	}
+	if q < 1 || q > top {
+		return 0, fmt.Errorf("pcr: quality %d: %w (dataset stores 1..%d)", q, ErrNoSuchQuality, top)
+	}
+	return q, nil
+}
+
+// SizeAtQuality returns the total bytes a full scan reads at quality q —
+// the paper's bytes-vs-quality trade-off, computed from the record index
+// without touching record files.
+func (d *Dataset) SizeAtQuality(q int) (int64, error) {
+	qq, err := d.resolveQuality(q)
+	if err != nil {
+		return 0, err
+	}
+	return d.r.sizeAtQuality(qq)
+}
+
+// ScanEncoded streams every sample in storage order at quality q, filling
+// Sample.JPEG with a self-contained stream (PCR samples are reassembled from
+// the record prefix) but not decoding it. Iteration stops at the first
+// error; cancelling ctx stops it promptly with ctx.Err().
+func (d *Dataset) ScanEncoded(ctx context.Context, q int) iter.Seq2[Sample, error] {
+	qq, err := d.resolveQuality(q)
+	if err != nil {
+		return errSeq(err)
+	}
+	return d.r.scanEncoded(ctx, qq)
+}
+
+// Scan streams every sample in storage order at quality q with Image
+// decoded. Record prefixes are read sequentially (through the LRU prefix
+// cache when WithCacheBytes is set) and images are decoded concurrently by
+// WithPrefetchWorkers goroutines; samples are yielded in storage order.
+// Iteration stops at the first error; cancelling ctx stops it promptly with
+// ctx.Err().
+func (d *Dataset) Scan(ctx context.Context, q int) iter.Seq2[Sample, error] {
+	qq, err := d.resolveQuality(q)
+	if err != nil {
+		return errSeq(err)
+	}
+	workers := d.cfg.prefetchWorkers()
+	return func(yield func(Sample, error) bool) {
+		ictx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		// The producer walks the encoded stream and hands each sample to a
+		// bounded decode pool; jobs preserve storage order so the consumer
+		// below yields in-order while decodes overlap.
+		type job struct {
+			s    Sample
+			err  error
+			done chan struct{}
+		}
+		jobs := make(chan *job, workers)
+		sem := make(chan struct{}, workers)
+		go func() {
+			defer close(jobs)
+			for s, err := range d.r.scanEncoded(ictx, qq) {
+				j := &job{s: s, err: err, done: make(chan struct{})}
+				if err == nil {
+					select {
+					case sem <- struct{}{}:
+					case <-ictx.Done():
+						return
+					}
+					go func() {
+						defer close(j.done)
+						defer func() { <-sem }()
+						j.err = decodeJPEG(&j.s)
+					}()
+				} else {
+					close(j.done)
+				}
+				select {
+				case jobs <- j:
+				case <-ictx.Done():
+					return
+				}
+			}
+		}()
+
+		for j := range jobs {
+			select {
+			case <-j.done:
+			case <-ctx.Done():
+				yield(Sample{}, ctx.Err())
+				return
+			}
+			// A cancelled context wins over already-decoded queued jobs, so
+			// cancellation surfaces promptly and unambiguously.
+			if err := ctx.Err(); err != nil {
+				yield(Sample{}, err)
+				return
+			}
+			if j.err != nil {
+				yield(Sample{}, j.err)
+				return
+			}
+			if !yield(j.s, nil) {
+				return
+			}
+		}
+		// The producer bails out silently when the context fires mid-stream;
+		// report that as an error, not a clean end of dataset.
+		if err := ctx.Err(); err != nil {
+			yield(Sample{}, err)
+		}
+	}
+}
+
+func errSeq(err error) iter.Seq2[Sample, error] {
+	return func(yield func(Sample, error) bool) {
+		yield(Sample{}, err)
+	}
+}
+
+// recordAccessor is the record-granular surface only the PCR format has.
+type recordAccessor interface {
+	numRecords() int
+	recordImages(i int) (int, error)
+	recordPrefixLen(i, q int) (int64, error)
+	readRecord(i, q int) ([]Sample, error)
+	cacheStats() (cache.Stats, bool)
+}
+
+// NumRecords returns the on-disk record count: batched records for PCR, one
+// per image for the baseline formats.
+func (d *Dataset) NumRecords() int {
+	if ra, ok := d.r.(recordAccessor); ok {
+		return ra.numRecords()
+	}
+	return d.r.numImages()
+}
+
+// RecordImages returns the image count of record i (PCR format only).
+func (d *Dataset) RecordImages(i int) (int, error) {
+	ra, ok := d.r.(recordAccessor)
+	if !ok {
+		return 0, fmt.Errorf("pcr: record access on %s format: %w", d.cfg.format.Name(), errors.ErrUnsupported)
+	}
+	return ra.recordImages(i)
+}
+
+// RecordPrefixLen returns the bytes one sequential read fetches to
+// materialize record i at quality q (PCR format only). It comes from the
+// record index, not the record file.
+func (d *Dataset) RecordPrefixLen(i, q int) (int64, error) {
+	ra, ok := d.r.(recordAccessor)
+	if !ok {
+		return 0, fmt.Errorf("pcr: record access on %s format: %w", d.cfg.format.Name(), errors.ErrUnsupported)
+	}
+	qq, err := d.resolveQuality(q)
+	if err != nil {
+		return 0, err
+	}
+	return ra.recordPrefixLen(i, qq)
+}
+
+// ReadRecordEncoded materializes every image of record i at quality q as
+// reassembled JPEG streams, without decoding — one sequential prefix read
+// (PCR format only).
+func (d *Dataset) ReadRecordEncoded(i, q int) ([]Sample, error) {
+	ra, ok := d.r.(recordAccessor)
+	if !ok {
+		return nil, fmt.Errorf("pcr: record access on %s format: %w", d.cfg.format.Name(), errors.ErrUnsupported)
+	}
+	qq, err := d.resolveQuality(q)
+	if err != nil {
+		return nil, err
+	}
+	return ra.readRecord(i, qq)
+}
+
+// ReadRecord materializes every image of record i at quality q — the random
+// access path (PCR format only); Scan is the streaming path.
+func (d *Dataset) ReadRecord(ctx context.Context, i, q int) ([]Sample, error) {
+	samples, err := d.ReadRecordEncoded(i, q)
+	if err != nil {
+		return nil, err
+	}
+	for si := range samples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := decodeJPEG(&samples[si]); err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+// CacheStats reports the prefix cache's counters. ok is false when the
+// dataset has no cache (WithCacheBytes unset or a non-PCR format).
+func (d *Dataset) CacheStats() (stats CacheStats, ok bool) {
+	if ra, raOK := d.r.(recordAccessor); raOK {
+		return ra.cacheStats()
+	}
+	return CacheStats{}, false
+}

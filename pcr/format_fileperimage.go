@@ -1,0 +1,78 @@
+package pcr
+
+import (
+	"context"
+	"iter"
+
+	"repro/internal/recordio"
+)
+
+// fpiFormat stores one JPEG file per image in per-class directories (the
+// ImageFolder baseline). It exposes a single quality level; reads are one
+// small random read per image — the access pattern the paper's Figure 1
+// contrasts with record layouts.
+type fpiFormat struct{}
+
+func (fpiFormat) Name() string { return "fileperimage" }
+
+func (fpiFormat) create(dir string, cfg *config) (formatWriter, error) {
+	fpi, err := recordio.CreateFilePerImage(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &fpiWriter{fpi: fpi}, nil
+}
+
+type fpiWriter struct{ fpi *recordio.FilePerImage }
+
+func (w *fpiWriter) append(s Sample) error { return w.fpi.Put(s.ID, s.Label, s.JPEG) }
+
+func (w *fpiWriter) close() error { return w.fpi.WriteManifest() }
+
+func (fpiFormat) open(dir string, cfg *config) (formatReader, error) {
+	fpi, err := recordio.OpenFilePerImage(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := fpi.List()
+	if err != nil {
+		return nil, err
+	}
+	return &fpiReader{fpi: fpi, entries: entries}, nil
+}
+
+type fpiReader struct {
+	fpi     *recordio.FilePerImage
+	entries []recordio.Entry
+}
+
+func (r *fpiReader) numImages() int { return len(r.entries) }
+func (r *fpiReader) qualities() int { return 1 }
+func (r *fpiReader) close() error   { return nil }
+
+func (r *fpiReader) sizeAtQuality(q int) (int64, error) {
+	var total int64
+	for _, e := range r.entries {
+		total += e.Size
+	}
+	return total, nil
+}
+
+func (r *fpiReader) scanEncoded(ctx context.Context, q int) iter.Seq2[Sample, error] {
+	return func(yield func(Sample, error) bool) {
+		for _, e := range r.entries {
+			if err := ctx.Err(); err != nil {
+				yield(Sample{}, err)
+				return
+			}
+			data, err := r.fpi.Get(e)
+			if err != nil {
+				yield(Sample{}, err)
+				return
+			}
+			if !yield(Sample{ID: e.ID, Label: e.Label, JPEG: data}, nil) {
+				return
+			}
+		}
+	}
+}

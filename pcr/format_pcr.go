@@ -1,0 +1,213 @@
+package pcr
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/jpegc"
+)
+
+type pcrFormat struct{}
+
+func (pcrFormat) Name() string { return "pcr" }
+
+func (pcrFormat) create(dir string, cfg *config) (formatWriter, error) {
+	w, err := core.CreateDataset(dir, &core.DatasetOptions{
+		ImagesPerRecord: cfg.imagesPerRecord,
+		ScanGroups:      cfg.scanGroups,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &pcrWriter{w: w}, nil
+}
+
+func (pcrFormat) open(dir string, cfg *config) (formatReader, error) {
+	ds, err := core.OpenDataset(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &pcrReader{ds: ds}
+	if cfg.cacheBytes > 0 {
+		c, err := cache.New(cfg.cacheBytes, r.fetchRange)
+		if err != nil {
+			ds.Close()
+			return nil, err
+		}
+		r.cache = c
+	}
+	return r, nil
+}
+
+type pcrWriter struct{ w *core.DatasetWriter }
+
+func (w *pcrWriter) append(s Sample) error {
+	return w.w.Append(core.Sample{ID: s.ID, Label: s.Label, JPEG: s.JPEG})
+}
+
+func (w *pcrWriter) close() error { return w.w.Close() }
+
+// pcrReader reads record prefixes, optionally through the LRU prefix cache.
+type pcrReader struct {
+	ds    *core.Dataset
+	cache *cache.Cache
+}
+
+func (r *pcrReader) numImages() int { return r.ds.NumImages() }
+func (r *pcrReader) qualities() int { return r.ds.NumGroups }
+func (r *pcrReader) close() error   { return r.ds.Close() }
+
+// recordQuality clamps quality q to what record i actually stores (grayscale
+// records hold fewer scan groups than the dataset maximum).
+func (r *pcrReader) recordQuality(i, q int) (int, error) {
+	groups, err := r.ds.RecordGroups(i)
+	if err != nil {
+		return 0, err
+	}
+	if q > groups {
+		q = groups
+	}
+	return q, nil
+}
+
+func (r *pcrReader) sizeAtQuality(q int) (int64, error) {
+	var total int64
+	for i := 0; i < r.ds.NumRecords(); i++ {
+		gg, err := r.recordQuality(i, q)
+		if err != nil {
+			return 0, err
+		}
+		n, err := r.ds.RecordPrefixLen(i, gg)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// fetchRange is the cache's backing fetcher: one ranged read of a record
+// file. The cache calls it with offset == 0 on a miss and offset == cached
+// length on a quality upgrade, so reads stay sequential per record.
+func (r *pcrReader) fetchRange(record int, offset, length int64) ([]byte, error) {
+	path, err := r.ds.RecordPath(record)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pcr: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("pcr: reading %s: %w: truncated record", path, ErrCorrupt)
+		}
+		return nil, fmt.Errorf("pcr: reading %s: %w", path, err)
+	}
+	return buf, nil
+}
+
+// readPrefix returns the prefix bytes and parsed metadata of record i at
+// record-clamped quality gg.
+func (r *pcrReader) readPrefix(i, gg int) ([]byte, *core.RecordMeta, error) {
+	if r.cache == nil {
+		return r.ds.ReadRecordPrefix(i, gg)
+	}
+	need, err := r.ds.RecordPrefixLen(i, gg)
+	if err != nil {
+		return nil, nil, err
+	}
+	prefix, err := r.cache.Get(i, need)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, err := core.ParseRecordMeta(prefix)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prefix, meta, nil
+}
+
+// readRecord materializes record i's samples (encoded only) at quality q.
+func (r *pcrReader) readRecord(i, q int) ([]Sample, error) {
+	gg, err := r.recordQuality(i, q)
+	if err != nil {
+		return nil, err
+	}
+	prefix, meta, err := r.readPrefix(i, gg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sample, 0, len(meta.Samples))
+	for si := range meta.Samples {
+		stream, err := meta.SampleJPEG(prefix, si, gg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Sample{
+			ID:    meta.Samples[si].ID,
+			Label: meta.Samples[si].Label,
+			JPEG:  stream,
+		})
+	}
+	return out, nil
+}
+
+func (r *pcrReader) scanEncoded(ctx context.Context, q int) iter.Seq2[Sample, error] {
+	return func(yield func(Sample, error) bool) {
+		for i := 0; i < r.ds.NumRecords(); i++ {
+			if err := ctx.Err(); err != nil {
+				yield(Sample{}, err)
+				return
+			}
+			samples, err := r.readRecord(i, q)
+			if err != nil {
+				yield(Sample{}, err)
+				return
+			}
+			for _, s := range samples {
+				if !yield(s, nil) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Record-level accessors behind Dataset's PCR-only methods.
+
+func (r *pcrReader) numRecords() int { return r.ds.NumRecords() }
+
+func (r *pcrReader) recordImages(i int) (int, error) { return r.ds.RecordSamples(i) }
+
+func (r *pcrReader) recordPrefixLen(i, q int) (int64, error) {
+	gg, err := r.recordQuality(i, q)
+	if err != nil {
+		return 0, err
+	}
+	return r.ds.RecordPrefixLen(i, gg)
+}
+
+func (r *pcrReader) cacheStats() (cache.Stats, bool) {
+	if r.cache == nil {
+		return cache.Stats{}, false
+	}
+	return r.cache.Stats(), true
+}
+
+// decode is shared by Dataset.Scan's worker pool.
+func decodeJPEG(s *Sample) error {
+	img, err := jpegc.Decode(s.JPEG)
+	if err != nil {
+		return fmt.Errorf("pcr: decoding sample %d: %w", s.ID, err)
+	}
+	s.Image = img
+	return nil
+}

@@ -1,0 +1,213 @@
+package pcr
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+	"path/filepath"
+
+	"repro/internal/recordio"
+	"repro/internal/wire"
+)
+
+// tfrecordFormat stores the dataset as one TFRecord file of framed samples
+// (length + masked CRC32C per frame, one frame per image) plus a small meta
+// sidecar with the image count. It exposes a single quality level.
+type tfrecordFormat struct{}
+
+func (tfrecordFormat) Name() string { return "tfrecord" }
+
+const (
+	tfrecordDataFile = "data.tfrecord"
+	tfrecordMetaFile = "tfrecord.meta"
+
+	// Frame fields (wire message per sample).
+	tfID    = 1
+	tfLabel = 2
+	tfJPEG  = 3
+)
+
+func (tfrecordFormat) create(dir string, cfg *config) (formatWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pcr: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, tfrecordDataFile))
+	if err != nil {
+		return nil, fmt.Errorf("pcr: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	return &tfrecordWriter{dir: dir, f: f, bw: bw, rw: recordio.NewWriter(bw)}, nil
+}
+
+type tfrecordWriter struct {
+	dir   string
+	f     *os.File
+	bw    *bufio.Writer
+	rw    *recordio.Writer
+	count int
+}
+
+func (w *tfrecordWriter) append(s Sample) error {
+	enc := wire.NewEncoder(nil)
+	enc.Uint64(tfID, uint64(s.ID))
+	enc.Int64(tfLabel, s.Label)
+	enc.Bytes(tfJPEG, s.JPEG)
+	if err := w.rw.Write(enc.Encode()); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+func (w *tfrecordWriter) close() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("pcr: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("pcr: %w", err)
+	}
+	enc := wire.NewEncoder(nil)
+	enc.Uint64(1, uint64(w.count))
+	enc.Uint64(2, uint64(w.rw.BytesWritten()))
+	if err := os.WriteFile(filepath.Join(w.dir, tfrecordMetaFile), enc.Encode(), 0o644); err != nil {
+		return fmt.Errorf("pcr: %w", err)
+	}
+	return nil
+}
+
+func (tfrecordFormat) open(dir string, cfg *config) (formatReader, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, tfrecordMetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("pcr: tfrecord metadata missing: %w", err)
+	}
+	r := &tfrecordReader{dir: dir}
+	if err := parseTFRecordMeta(raw, r); err != nil {
+		return nil, fmt.Errorf("pcr: %w: tfrecord metadata: %v", ErrCorrupt, err)
+	}
+	return r, nil
+}
+
+func parseTFRecordMeta(raw []byte, r *tfrecordReader) error {
+	d := wire.NewDecoder(raw)
+	for !d.Done() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case 1:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			r.count = int(v)
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			r.bytes = int64(v)
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type tfrecordReader struct {
+	dir   string
+	count int
+	bytes int64
+}
+
+func (r *tfrecordReader) numImages() int { return r.count }
+func (r *tfrecordReader) qualities() int { return 1 }
+func (r *tfrecordReader) close() error   { return nil }
+
+func (r *tfrecordReader) sizeAtQuality(q int) (int64, error) { return r.bytes, nil }
+
+func (r *tfrecordReader) scanEncoded(ctx context.Context, q int) iter.Seq2[Sample, error] {
+	return func(yield func(Sample, error) bool) {
+		f, err := os.Open(filepath.Join(r.dir, tfrecordDataFile))
+		if err != nil {
+			yield(Sample{}, fmt.Errorf("pcr: %w", err))
+			return
+		}
+		defer f.Close()
+		rr := recordio.NewReader(bufio.NewReader(f))
+		for {
+			if err := ctx.Err(); err != nil {
+				yield(Sample{}, err)
+				return
+			}
+			frame, err := rr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if errors.Is(err, recordio.ErrBadCRC) || errors.Is(err, io.ErrUnexpectedEOF) {
+					err = fmt.Errorf("pcr: %w: %w", ErrCorrupt, err)
+				}
+				yield(Sample{}, err)
+				return
+			}
+			s, err := parseTFRecordFrame(frame)
+			if !yield(s, err) || err != nil {
+				return
+			}
+		}
+	}
+}
+
+// parseTFRecordFrame decodes one framed sample. The frame already passed its
+// CRC, so any wire-level failure here means we are reading garbage we wrote
+// (or a foreign file) — ErrCorrupt either way.
+func parseTFRecordFrame(frame []byte) (Sample, error) {
+	s, err := parseTFRecordFields(frame)
+	if err != nil {
+		return s, fmt.Errorf("pcr: %w: tfrecord frame: %v", ErrCorrupt, err)
+	}
+	return s, nil
+}
+
+func parseTFRecordFields(frame []byte) (Sample, error) {
+	var s Sample
+	d := wire.NewDecoder(frame)
+	for !d.Done() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case tfID:
+			v, err := d.Uint64()
+			if err != nil {
+				return s, err
+			}
+			s.ID = int64(v)
+		case tfLabel:
+			v, err := d.Int64()
+			if err != nil {
+				return s, err
+			}
+			s.Label = v
+		case tfJPEG:
+			v, err := d.Bytes()
+			if err != nil {
+				return s, err
+			}
+			s.JPEG = append([]byte(nil), v...)
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,121 @@
+package pcr
+
+import "fmt"
+
+// config is the resolved option set shared by Create and Open.
+type config struct {
+	format          Format
+	imagesPerRecord int
+	scanGroups      int
+	cacheBytes      int64
+	workers         int
+	jpegQuality     int
+}
+
+func defaultConfig() *config {
+	return &config{
+		format:          PCR,
+		imagesPerRecord: 64,
+		jpegQuality:     90,
+	}
+}
+
+// Option configures Create, Open, and the helpers built on them.
+type Option func(*config) error
+
+func applyOptions(opts []Option) (*config, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+// WithFormat selects the storage layout: PCR (default), TFRecord, or
+// FilePerImage.
+func WithFormat(f Format) Option {
+	return func(c *config) error {
+		if f == nil {
+			return fmt.Errorf("pcr: nil format")
+		}
+		c.format = f
+		return nil
+	}
+}
+
+// WithImagesPerRecord sets the record batching factor for record-based
+// formats (the paper uses ~1024 at ImageNet scale; the default 64 suits
+// small datasets). FilePerImage ignores it.
+func WithImagesPerRecord(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("pcr: images per record must be positive, got %d", n)
+		}
+		c.imagesPerRecord = n
+		return nil
+	}
+}
+
+// WithScanGroups coalesces the progressive scans of each image into n scan
+// groups, so the dataset exposes exactly n quality levels (PCR format only;
+// default one group per scan, 10 for color JPEG). Fewer groups mean fewer
+// index entries and coarser quality steps — the paper's §3.1 knob.
+func WithScanGroups(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("pcr: scan groups must be non-negative, got %d", n)
+		}
+		c.scanGroups = n
+		return nil
+	}
+}
+
+// WithCacheBytes gives the dataset an LRU prefix cache of the given byte
+// budget. Because every PCR quality level is a prefix of the same byte
+// stream, a record cached at a low quality is upgraded in place by fetching
+// only the missing delta (§5 of the paper). Zero (the default) disables
+// caching.
+func WithCacheBytes(n int64) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("pcr: cache bytes must be non-negative, got %d", n)
+		}
+		c.cacheBytes = n
+		return nil
+	}
+}
+
+// WithPrefetchWorkers bounds the goroutines Scan uses to decode images
+// concurrently (the paper's loader uses 4–8 prefetch threads). The default 4
+// applies when n is not set; Scan never uses fewer than 1.
+func WithPrefetchWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("pcr: prefetch workers must be non-negative, got %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithJPEGQuality sets the quantization quality used when Append must encode
+// a Sample.Image into JPEG (default 90). Samples appended with explicit JPEG
+// bytes are stored as-is.
+func WithJPEGQuality(q int) Option {
+	return func(c *config) error {
+		if q < 1 || q > 100 {
+			return fmt.Errorf("pcr: jpeg quality %d out of range [1,100]", q)
+		}
+		c.jpegQuality = q
+		return nil
+	}
+}
+
+func (c *config) prefetchWorkers() int {
+	if c.workers <= 0 {
+		return 4
+	}
+	return c.workers
+}

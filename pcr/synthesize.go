@@ -1,0 +1,62 @@
+package pcr
+
+import (
+	"fmt"
+
+	"repro/internal/synth"
+	"repro/internal/train"
+)
+
+// Synthesize generates the named synthetic dataset profile ("imagenet",
+// "celebahq", "ham10000", "cars"), scaled by scale, and writes its train
+// split to dir in the configured Format. Images are encoded at the profile's
+// JPEG quality unless WithJPEGQuality overrides it. It returns the number of
+// images written.
+func Synthesize(dir, profile string, scale float64, seed int64, opts ...Option) (int, error) {
+	p, err := synth.ProfileByName(profile)
+	if err != nil {
+		return 0, err
+	}
+	ds, err := synth.Generate(p.Scaled(scale), seed)
+	if err != nil {
+		return 0, err
+	}
+	w, err := Create(dir, append([]Option{WithJPEGQuality(p.JPEGQuality)}, opts...)...)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range ds.Train {
+		if err := w.Append(Sample{ID: int64(s.ID), Label: int64(s.Label), Image: s.Img}); err != nil {
+			return w.Count(), fmt.Errorf("pcr: synthesize %s: %w", profile, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return w.Count(), err
+	}
+	return w.Count(), nil
+}
+
+// TrainSet is an in-memory PCR training set with per-scan-group feature
+// caches, the input to the training and simulation harnesses under
+// internal/train, internal/autotune, and internal/loader.
+type TrainSet = train.PCRSet
+
+// BuildTrainSet generates the named synthetic profile and encodes its train
+// split into an in-memory TrainSet, honoring WithImagesPerRecord and
+// WithScanGroups. It is the shared front door for the training examples and
+// cmd/pcrtrain.
+func BuildTrainSet(profile string, scale float64, seed int64, opts ...Option) (*TrainSet, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := synth.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := synth.Generate(p.Scaled(scale), seed)
+	if err != nil {
+		return nil, err
+	}
+	return train.BuildPCRSetGrouped(ds, cfg.imagesPerRecord, cfg.scanGroups)
+}
