@@ -1,9 +1,15 @@
 // Command pcrbench is the reader microbenchmark of §A.5 run against a real
-// on-disk dataset through the public pcr package: N parallel readers fetch
-// record prefixes at each quality level — optionally decoding every image —
-// and the tool reports images/second and effective bandwidth per quality
-// (the measured side of Figure 18). Formats without record-level access
-// (tfrecord, fileperimage) are measured through the streaming Scan path.
+// dataset through the public pcr package: N parallel readers fetch record
+// prefixes at each quality level — optionally decoding every image — and
+// the tool reports images/second, bytes read per sample, and effective
+// bandwidth per quality (the measured side of Figure 18). Formats without
+// record-level access (tfrecord, fileperimage) are measured through the
+// streaming Scan path.
+//
+// -dataset accepts either a local directory or a pcrserved URL
+// (http://host:port), so local-disk and remote-serving runs produce
+// directly comparable tables: bytes/image is the same column either way,
+// and the bandwidth column becomes wire bandwidth for remote runs.
 package main
 
 import (
@@ -11,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,7 +26,7 @@ import (
 )
 
 func main() {
-	dir := flag.String("dataset", "", "dataset directory")
+	dir := flag.String("dataset", "", "dataset directory or pcrserved URL (http://host:port)")
 	formatName := flag.String("format", "pcr", "storage format: pcr, tfrecord, fileperimage")
 	workers := flag.Int("workers", 8, "parallel readers (decode workers for stream formats)")
 	passes := flag.Int("passes", 3, "passes over the dataset per quality level")
@@ -41,11 +48,23 @@ func run(dir, formatName string, workers, passes int, decode bool, cacheMB int64
 	if err != nil {
 		return err
 	}
-	ds, err := pcr.Open(dir,
-		pcr.WithFormat(format),
-		pcr.WithPrefetchWorkers(workers),
-		pcr.WithCacheBytes(cacheMB<<20),
-	)
+	var ds *pcr.Dataset
+	remote := strings.HasPrefix(dir, "http://") || strings.HasPrefix(dir, "https://")
+	if remote {
+		if format != pcr.PCR {
+			return fmt.Errorf("remote serving is pcr-format only; drop -format %s", formatName)
+		}
+		ds, err = pcr.OpenRemote(dir,
+			pcr.WithPrefetchWorkers(workers),
+			pcr.WithCacheBytes(cacheMB<<20),
+		)
+	} else {
+		ds, err = pcr.Open(dir,
+			pcr.WithFormat(format),
+			pcr.WithPrefetchWorkers(workers),
+			pcr.WithCacheBytes(cacheMB<<20),
+		)
+	}
 	if err != nil {
 		return err
 	}
@@ -54,15 +73,23 @@ func run(dir, formatName string, workers, passes int, decode bool, cacheMB int64
 	if format != pcr.PCR {
 		mode = fmt.Sprintf("single reader stream, %d decode workers", workers)
 	}
+	if remote {
+		mode += ", remote"
+	}
 	fmt.Printf("dataset %s (%s): %d records, %d images, %d quality levels; %s, decode=%v\n",
 		dir, ds.Format().Name(), ds.NumRecords(), ds.NumImages(), ds.Qualities(), mode, decode)
-	fmt.Printf("%8s %12s %14s %12s\n", "quality", "images/s", "bandwidth", "elapsed")
+	fmt.Printf("%8s %12s %12s %14s %12s\n", "quality", "images/s", "bytes/img", "bandwidth", "elapsed")
 
+	fetchedSoFar := func() (int64, bool) {
+		stats, ok := ds.CacheStats()
+		return stats.BytesFetched, ok
+	}
 	for q := 1; q <= ds.Qualities(); q++ {
 		size, err := ds.SizeAtQuality(q)
 		if err != nil {
 			return err
 		}
+		before, cached := fetchedSoFar()
 		var images int64
 		start := time.Now()
 		if format == pcr.PCR {
@@ -74,10 +101,22 @@ func run(dir, formatName string, workers, passes int, decode bool, cacheMB int64
 			return err
 		}
 		elapsed := time.Since(start)
-		fmt.Printf("%8d %12.0f %11.1f MB/s %12v\n",
+		// Bytes read per sample is the quality level's cost in the paper's
+		// currency (§3, Figure 16) — the column that makes a local-disk run
+		// and a remote pcrserved run directly comparable. With a prefix
+		// cache the counters report what actually moved (later passes and
+		// already-cached prefixes cost nothing); without one, every pass
+		// reads the full working set.
+		moved := int64(size) * int64(passes)
+		if cached {
+			after, _ := fetchedSoFar()
+			moved = after - before
+		}
+		fmt.Printf("%8d %12.0f %12.0f %11.1f MB/s %12v\n",
 			q,
 			float64(images)/elapsed.Seconds(),
-			float64(size)*float64(passes)/elapsed.Seconds()/1e6,
+			float64(moved)/float64(images),
+			float64(moved)/elapsed.Seconds()/1e6,
 			elapsed.Round(time.Millisecond))
 	}
 	if stats, ok := ds.CacheStats(); ok {

@@ -1,0 +1,95 @@
+// Command pcrserved serves a PCR dataset directory over HTTP: the record
+// index at /index and byte-range prefix reads at /records/{name} (with
+// optional ?group=g truncation), so remote readers — pcr.OpenRemote, or any
+// HTTP client that speaks Range — can run the paper's progressive read path
+// against disaggregated storage. Counters are exposed at /varz and
+// /debug/vars; /healthz answers liveness probes.
+//
+// Usage:
+//
+//	pcrserved -dataset DIR [-addr :8100] [-cache-mb 256]
+//
+// The -cache-mb budget feeds a shared LRU of hot record prefixes: repeat
+// reads of a popular record are served from memory, and a request for a
+// higher quality than was cached reads only the delta bytes from disk.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	dir := flag.String("dataset", "", "PCR dataset directory to serve")
+	addr := flag.String("addr", ":8100", "listen address")
+	cacheMB := flag.Int64("cache-mb", 256, "hot-prefix LRU budget in MiB (0 = no cache)")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "pcrserved: -dataset is required")
+		os.Exit(2)
+	}
+	if err := run(*dir, *addr, *cacheMB); err != nil {
+		fmt.Fprintln(os.Stderr, "pcrserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, addr string, cacheMB int64) error {
+	s, err := serve.New(dir, &serve.Options{CacheBytes: cacheMB << 20})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	// Publish the server's counters into the process-wide expvar registry
+	// (alongside memstats and cmdline) and mount the standard handler.
+	expvar.Publish("pcrserved", expvar.Func(func() any { return s.Stats() }))
+	mux := http.NewServeMux()
+	mux.Handle("/", s)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: mux,
+		// Bound slow clients: a connection that dribbles its headers or
+		// idles between requests must not pin a goroutine and fd forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pcrserved: serving %s on %s", dir, addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("pcrserved: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

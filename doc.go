@@ -1,15 +1,21 @@
 // Package repro is a from-scratch Go reproduction of "Progressive
 // Compressed Records: Taking a Byte out of Deep Learning Data" (Kuchnik,
-// Amvrosiadis, Smith — VLDB 2021). See README.md for the architecture and
-// DESIGN.md for the system inventory and per-experiment index.
+// Amvrosiadis, Smith — VLDB 2021), grown into a small serving system. See
+// README.md for the architecture and DESIGN.md for the system inventory,
+// the serving-layer wire protocol, and the per-experiment index.
 //
 // Package repro/pcr is the public entry point: it exposes the paper's three
 // storage layouts (PCR, TFRecord, file-per-image) behind one Format
 // interface, with Create/Open constructors, functional options, and a
-// streaming, cache-aware, concurrently-decoding Scan iterator. The
-// implementation lives under internal/ and the executables under cmd/.
+// streaming, cache-aware, concurrently-decoding Scan iterator. Every format
+// reads through a pluggable storage Backend, and pcr.OpenRemote opens a
+// dataset served by cmd/pcrserved — an HTTP prefix server under
+// internal/serve that turns the paper's sequential prefix reads into byte
+// Range requests and its §5 delta cache upgrades into requests for only
+// the missing bytes.
 //
-// The root package holds only the benchmark harness (bench_test.go): one
+// The implementation lives under internal/ and the executables under cmd/;
+// the root package holds only the benchmark harness (bench_test.go): one
 // benchmark per paper table/figure plus ablation benchmarks for the design
 // choices called out in DESIGN.md.
 package repro

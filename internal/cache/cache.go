@@ -44,7 +44,10 @@ type entry struct {
 	elem   *list.Element
 }
 
-// Cache is a byte-budgeted LRU of PCR record prefixes.
+// Cache is a byte-budgeted LRU of PCR record prefixes. The global mutex
+// guards only in-memory state; backing-store fetches run outside it under a
+// per-record lock, so concurrent Gets for different records overlap their
+// I/O while duplicate Gets for the same record coalesce into one fetch.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int64
@@ -53,6 +56,9 @@ type Cache struct {
 	lru      *list.List // front = most recent; values are record ids
 	fetch    Fetcher
 	stats    Stats
+	// fetching serializes backing fetches per record. Entries are never
+	// removed; the map is bounded by the record count of the dataset.
+	fetching map[int]*sync.Mutex
 }
 
 // New builds a cache with the given byte capacity over the fetcher.
@@ -68,7 +74,28 @@ func New(capacity int64, fetch Fetcher) (*Cache, error) {
 		entries:  make(map[int]*entry),
 		lru:      list.New(),
 		fetch:    fetch,
+		fetching: make(map[int]*sync.Mutex),
 	}, nil
+}
+
+// recordLock returns the per-record fetch mutex, creating it on first use.
+func (c *Cache) recordLock(record int) *sync.Mutex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.fetching[record]
+	if !ok {
+		m = &sync.Mutex{}
+		c.fetching[record] = m
+	}
+	return m
+}
+
+// serveLocked accounts a request served from the entry's prefix. Caller
+// holds c.mu.
+func (c *Cache) serveLocked(e *entry, prefixLen int64) []byte {
+	c.lru.MoveToFront(e.elem)
+	c.stats.BytesServed += prefixLen
+	return e.prefix[:prefixLen:prefixLen]
 }
 
 // Get returns the first prefixLen bytes of the record, reading from the
@@ -78,55 +105,95 @@ func (c *Cache) Get(record int, prefixLen int64) ([]byte, error) {
 	if prefixLen < 0 {
 		return nil, fmt.Errorf("cache: negative prefix length")
 	}
+
+	// Fast path: a full hit costs only the global lock.
+	c.mu.Lock()
+	if e, ok := c.entries[record]; ok && int64(len(e.prefix)) >= prefixLen {
+		c.stats.Hits++
+		p := c.serveLocked(e, prefixLen)
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+
+	// Slow path: a backing fetch is needed. Take the record's fetch lock so
+	// concurrent requests for the same record don't fetch twice, then
+	// re-check — a waiter may find the prefix already filled.
+	rl := c.recordLock(record)
+	rl.Lock()
+	defer rl.Unlock()
+
+	c.mu.Lock()
+	var have int64
+	if e, ok := c.entries[record]; ok {
+		if int64(len(e.prefix)) >= prefixLen {
+			c.stats.Hits++
+			p := c.serveLocked(e, prefixLen)
+			c.mu.Unlock()
+			return p, nil
+		}
+		have = int64(len(e.prefix))
+	}
+	wasUpgrade := have > 0
+	c.mu.Unlock()
+
+	// Fetch the missing suffix without the global lock: only requests for
+	// this record wait, others proceed.
+	delta, err := c.fetch(record, have, prefixLen-have)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(delta)) != prefixLen-have {
+		return nil, fmt.Errorf("cache: fetcher returned %d bytes, want %d", len(delta), prefixLen-have)
+	}
+	fetched := int64(len(delta))
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
-
 	e, ok := c.entries[record]
-	switch {
-	case ok && int64(len(e.prefix)) >= prefixLen:
-		// Full hit: the cached prefix covers the request.
-		c.stats.Hits++
-		c.lru.MoveToFront(e.elem)
-		c.stats.BytesServed += prefixLen
-		return e.prefix[:prefixLen:prefixLen], nil
-
-	case ok:
-		// Upgrade: fetch only the delta beyond the cached prefix.
-		have := int64(len(e.prefix))
-		delta, err := c.fetch(record, have, prefixLen-have)
+	if !ok && have > 0 {
+		// The base prefix was evicted (or invalidated) while we fetched the
+		// delta. Growth is serialized by the record lock we hold, so the
+		// entry cannot have changed any other way; re-fetch the base and
+		// assemble the full prefix.
+		c.mu.Unlock()
+		base, err := c.fetch(record, 0, have)
+		c.mu.Lock()
 		if err != nil {
 			return nil, err
 		}
-		if int64(len(delta)) != prefixLen-have {
-			return nil, fmt.Errorf("cache: fetcher returned %d bytes, want %d", len(delta), prefixLen-have)
+		if int64(len(base)) != have {
+			return nil, fmt.Errorf("cache: fetcher returned %d bytes, want %d", len(base), have)
 		}
+		fetched += have
+		delta = append(base, delta...)
+		have = 0
+		// The whole prefix came from backing store after all — count a
+		// miss, not a delta-only upgrade.
+		wasUpgrade = false
+	}
+	if wasUpgrade {
 		c.stats.UpgradeHits++
-		c.stats.BytesFetched += int64(len(delta))
-		c.used += int64(len(delta))
-		e.prefix = append(e.prefix, delta...)
-		c.lru.MoveToFront(e.elem)
-		c.evictLocked(record)
-		c.stats.BytesServed += prefixLen
-		return e.prefix[:prefixLen:prefixLen], nil
-
-	default:
-		data, err := c.fetch(record, 0, prefixLen)
-		if err != nil {
-			return nil, err
-		}
-		if int64(len(data)) != prefixLen {
-			return nil, fmt.Errorf("cache: fetcher returned %d bytes, want %d", len(data), prefixLen)
-		}
+	} else {
 		c.stats.Misses++
-		c.stats.BytesFetched += prefixLen
-		e := &entry{record: record, prefix: data}
+	}
+	c.stats.BytesFetched += fetched
+	if e == nil {
+		e = &entry{record: record, prefix: delta}
 		e.elem = c.lru.PushFront(record)
 		c.entries[record] = e
-		c.used += prefixLen
-		c.evictLocked(record)
-		c.stats.BytesServed += prefixLen
-		return e.prefix, nil
+		c.used += int64(len(delta))
+	} else {
+		e.prefix = append(e.prefix, delta...)
+		c.used += int64(len(delta))
 	}
+	// Serve (which moves the entry to the LRU front) before evicting:
+	// eviction stops at the protected record, so the just-grown entry must
+	// not be sitting at the back or nothing else gets evicted and the
+	// byte budget is never enforced.
+	p := c.serveLocked(e, prefixLen)
+	c.evictLocked(record)
+	return p, nil
 }
 
 // evictLocked drops least-recently-used entries until the budget holds,

@@ -262,3 +262,166 @@ func TestConcurrentGets(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFetchesOverlapAcrossRecords: a slow fetch of one record must not
+// block a Get for a different record — the global lock is not held across
+// backing I/O.
+func TestFetchesOverlapAcrossRecords(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	fetch := func(record int, offset, length int64) ([]byte, error) {
+		if record == 1 {
+			close(entered)
+			<-release // block record 1's fetch until told otherwise
+		}
+		out := make([]byte, length)
+		for i := range out {
+			out[i] = byte(record*31 + int(offset) + i)
+		}
+		return out, nil
+	}
+	c, err := New(1<<20, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done1 := make(chan struct{})
+	go func() {
+		defer close(done1)
+		if _, err := c.Get(1, 64); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-entered // record 1 is mid-fetch
+
+	// A Get for another record must complete while record 1 is stuck.
+	done2 := make(chan struct{})
+	go func() {
+		defer close(done2)
+		got, err := c.Get(2, 32)
+		if err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, wantBytes(2, 32)) {
+			t.Error("record 2 bytes wrong")
+		}
+	}()
+	select {
+	case <-done2:
+	case <-done1:
+		t.Fatal("record 1 finished while its fetch should be blocked")
+	}
+	close(release)
+	<-done1
+	if !c.Contains(1, 64) {
+		t.Fatal("record 1 not cached after its fetch completed")
+	}
+}
+
+// TestDuplicateGetsCoalesce: concurrent Gets for the same cold record
+// perform one backing fetch, not N.
+func TestDuplicateGetsCoalesce(t *testing.T) {
+	bk := &backing{}
+	c, err := New(1<<20, bk.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := c.Get(7, 128)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, wantBytes(7, 128)) {
+				t.Error("wrong bytes")
+			}
+		}()
+	}
+	wg.Wait()
+	bk.mu.Lock()
+	fetches := bk.fetches
+	bk.mu.Unlock()
+	if fetches != 1 {
+		t.Fatalf("%d backing fetches for 8 identical Gets, want 1", fetches)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 7 {
+		t.Fatalf("stats = %+v, want 1 miss and 7 hits", st)
+	}
+}
+
+// TestEvictionDuringUpgradeReassembles: if a record's base prefix is
+// evicted while its delta is being fetched, Get must still return the full
+// correct prefix.
+func TestEvictionDuringUpgradeReassembles(t *testing.T) {
+	var c *Cache
+	evictOnce := sync.Once{}
+	fetch := func(record int, offset, length int64) ([]byte, error) {
+		if record == 1 && offset > 0 {
+			// Mid-upgrade: drop the base from the cache, as a concurrent
+			// eviction would.
+			evictOnce.Do(func() { c.Invalidate(1) })
+		}
+		out := make([]byte, length)
+		for i := range out {
+			out[i] = byte(record*31 + int(offset) + i)
+		}
+		return out, nil
+	}
+	c2, err := New(1<<20, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = c2
+	if _, err := c.Get(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(1, 256) // upgrade; base invalidated mid-fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes(1, 256)) {
+		t.Fatal("reassembled prefix is wrong")
+	}
+	if !c.Contains(1, 256) {
+		t.Fatal("record not cached after reassembly")
+	}
+	// The whole prefix was re-fetched, so this counts as a miss — not as a
+	// delta-only upgrade.
+	if st := c.Stats(); st.UpgradeHits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 misses and 0 upgrade hits", st)
+	}
+}
+
+// TestUpgradeOfLRUBackEnforcesBudget: upgrading the record at the LRU back
+// must still evict other entries to hold the byte budget — the grown entry
+// moves to the front before eviction runs.
+func TestUpgradeOfLRUBackEnforcesBudget(t *testing.T) {
+	bk := &backing{}
+	c, err := New(100, bk.fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(1, 60); err != nil { // record 1 cached, 60 bytes
+		t.Fatal(err)
+	}
+	if _, err := c.Get(2, 30); err != nil { // record 2 cached; record 1 is LRU-back
+		t.Fatal(err)
+	}
+	if _, err := c.Get(1, 80); err != nil { // upgrade the back record: 110 > 100
+		t.Fatal(err)
+	}
+	if used := c.UsedBytes(); used > 100 {
+		t.Fatalf("cache over budget after upgrading the LRU-back record: used=%d > capacity=100", used)
+	}
+	if c.Contains(2, 1) {
+		t.Fatal("record 2 should have been evicted to fit record 1's upgrade")
+	}
+	if !c.Contains(1, 80) {
+		t.Fatal("upgraded record 1 missing")
+	}
+}

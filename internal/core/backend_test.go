@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDirBackendReadRange(t *testing.T) {
+	dir := t.TempDir()
+	content := []byte("0123456789abcdef")
+	if err := os.WriteFile(filepath.Join(dir, "obj"), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := NewDirBackend(dir)
+
+	got, err := b.ReadRange("obj", 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "456789" {
+		t.Fatalf("ReadRange = %q", got)
+	}
+	// A range past EOF is structural damage: the index promised bytes the
+	// object does not have.
+	if _, err := b.ReadRange("obj", 10, 100); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("past-EOF ReadRange error = %v, want ErrCorrupt", err)
+	}
+	if _, err := b.ReadRange("missing", 0, 1); err == nil {
+		t.Fatal("ReadRange of missing object succeeded")
+	}
+	// Names must not escape the dataset directory.
+	for _, name := range []string{"../obj", "/etc/hosts", "a/../../obj"} {
+		if _, err := b.ReadRange(name, 0, 1); err == nil {
+			t.Fatalf("ReadRange(%q) escaped the backend root", name)
+		}
+	}
+
+	rc, err := b.Open("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(all) != string(content) {
+		t.Fatalf("Open/ReadAll = %q, %v", all, err)
+	}
+
+	names, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "obj" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestIndexRoundTripAndValidation(t *testing.T) {
+	ix := &Index{
+		NumGroups: 3,
+		NumImages: 12,
+		Records: []RecordInfo{
+			{Name: "record-00000.pcr", Samples: 8, Prefixes: []int64{100, 200, 350, 500}},
+			{Name: "record-00001.pcr", Samples: 4, Prefixes: []int64{90, 180, 330, 470}},
+		},
+	}
+	data, err := EncodeIndex(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumGroups != ix.NumGroups || back.NumImages != ix.NumImages || len(back.Records) != 2 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if back.Records[1].Name != "record-00001.pcr" || back.Records[1].Prefixes[3] != 470 {
+		t.Fatalf("round trip damaged records: %+v", back.Records)
+	}
+
+	for _, bad := range []string{
+		`{"records":[{"name":"","samples":1,"prefixes":[1]}]}`,
+		`{"records":[{"name":"r","samples":1,"prefixes":[]}]}`,
+		`{"records":[{"name":"r","samples":1,"prefixes":[10,5]}]}`,
+		`{"records":[{"name":"r","samples":1,"prefixes":[-10,-5]}]}`,
+		`not json`,
+	} {
+		if _, err := ParseIndex([]byte(bad)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("ParseIndex(%q) error = %v, want ErrCorrupt", bad, err)
+		}
+	}
+}
+
+// TestOpenDatasetIndexMatchesLocal: a dataset opened from its own exported
+// index over a DirBackend reads identically to the kvstore-backed open.
+func TestOpenDatasetIndexMatchesLocal(t *testing.T) {
+	dir := t.TempDir()
+	samples := buildSamples(t, 10)
+	w, err := CreateDataset(dir, &DatasetOptions{ImagesPerRecord: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if err := w.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	data, err := EncodeIndex(local.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ParseIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaIndex, err := OpenDatasetIndex(ix, NewDirBackend(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaIndex.Close()
+
+	if viaIndex.NumRecords() != local.NumRecords() || viaIndex.NumImages() != local.NumImages() {
+		t.Fatalf("index-opened dataset disagrees: %d/%d records, %d/%d images",
+			viaIndex.NumRecords(), local.NumRecords(), viaIndex.NumImages(), local.NumImages())
+	}
+	for i := 0; i < local.NumRecords(); i++ {
+		for g := 0; g <= local.NumGroups; g++ {
+			a, err := local.RecordPrefixLen(i, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := viaIndex.RecordPrefixLen(i, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("record %d group %d: prefix len %d vs %d", i, g, a, b)
+			}
+		}
+		pa, ma, err := local.ReadRecordPrefix(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, mb, err := viaIndex.ReadRecordPrefix(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(pa) != string(pb) || len(ma.Samples) != len(mb.Samples) {
+			t.Fatalf("record %d: prefix reads differ between kvstore open and index open", i)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"image"
-	"io"
 	"os"
 	"path/filepath"
 
@@ -135,10 +134,14 @@ func (w *DatasetWriter) Close() error {
 	return w.db.Close()
 }
 
-// Dataset is an opened PCR dataset directory.
+// Dataset is an opened PCR dataset: a record index plus a Backend the
+// record bytes are read through. OpenDataset serves a local directory
+// (index from the kvstore metadata database, bytes from DirBackend);
+// OpenDatasetIndex serves any Backend — notably the HTTP client of the
+// serving layer — from an explicit index.
 type Dataset struct {
-	dir       string
-	db        *kvstore.Store
+	backend   Backend
+	db        *kvstore.Store // nil when opened via OpenDatasetIndex
 	NumGroups int
 	numRec    int
 	numImg    int
@@ -157,7 +160,7 @@ func OpenDataset(dir string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := &Dataset{dir: dir, db: db}
+	ds := &Dataset{backend: NewDirBackend(dir), db: db}
 	raw, err := db.Get([]byte("dataset"))
 	if err != nil {
 		db.Close()
@@ -248,8 +251,17 @@ func parseRecordEntry(raw []byte) (recordEntry, error) {
 	return re, nil
 }
 
-// Close releases the metadata database.
-func (ds *Dataset) Close() error { return ds.db.Close() }
+// Close releases the metadata database (if any) and the storage backend.
+func (ds *Dataset) Close() error {
+	var err error
+	if ds.db != nil {
+		err = ds.db.Close()
+	}
+	if berr := ds.backend.Close(); err == nil {
+		err = berr
+	}
+	return err
+}
 
 // NumRecords returns the record count.
 func (ds *Dataset) NumRecords() int { return ds.numRec }
@@ -257,12 +269,24 @@ func (ds *Dataset) NumRecords() int { return ds.numRec }
 // NumImages returns the total image count.
 func (ds *Dataset) NumImages() int { return ds.numImg }
 
-// RecordPath returns the file path of record i.
-func (ds *Dataset) RecordPath(i int) (string, error) {
+// RecordName returns the Backend object name of record i.
+func (ds *Dataset) RecordName(i int) (string, error) {
 	if i < 0 || i >= ds.numRec {
 		return "", fmt.Errorf("core: record %d out of range", i)
 	}
-	return filepath.Join(ds.dir, ds.records[i].name), nil
+	return ds.records[i].name, nil
+}
+
+// ReadRecordRange reads [offset, offset+length) of record i through the
+// dataset's Backend — the primitive under both the prefix read path and the
+// cache's delta upgrades (§5): a miss is ReadRecordRange(i, 0, prefixLen)
+// and an upgrade is ReadRecordRange(i, cachedLen, delta).
+func (ds *Dataset) ReadRecordRange(i int, offset, length int64) ([]byte, error) {
+	name, err := ds.RecordName(i)
+	if err != nil {
+		return nil, err
+	}
+	return ds.backend.ReadRange(name, offset, length)
 }
 
 // RecordPrefixLen returns the bytes needed to read record i at scan group g
@@ -305,24 +329,15 @@ type DecodedSample struct {
 
 // ReadRecordPrefix reads exactly the prefix of record i needed for scan
 // group g. This is the dataset's only read path — by construction it is a
-// single sequential read from offset zero.
+// single sequential read from offset zero, issued through the Backend.
 func (ds *Dataset) ReadRecordPrefix(i, g int) ([]byte, *RecordMeta, error) {
-	path, err := ds.RecordPath(i)
-	if err != nil {
-		return nil, nil, err
-	}
 	need, err := ds.RecordPrefixLen(i, g)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.Open(path)
+	buf, err := ds.ReadRecordRange(i, 0, need)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: %w", err)
-	}
-	defer f.Close()
-	buf := make([]byte, need)
-	if _, err := readFull(f, buf); err != nil {
-		return nil, nil, fmt.Errorf("core: reading %s: %w", path, err)
+		return nil, nil, err
 	}
 	meta, err := ParseRecordMeta(buf)
 	if err != nil {
@@ -350,16 +365,4 @@ func (ds *Dataset) ReadRecordAt(i, g int) ([]DecodedSample, error) {
 		})
 	}
 	return out, nil
-}
-
-// readFull fills buf from f. A short read means the file ends before the
-// prefix length the metadata promised — structural damage, not an I/O
-// hiccup — so it is reported as ErrCorrupt (wrapping io.ErrUnexpectedEOF);
-// other errors pass through unwrapped.
-func readFull(f *os.File, buf []byte) (int, error) {
-	n, err := io.ReadFull(f, buf)
-	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		return n, fmt.Errorf("%w: truncated record (%w: got %d of %d bytes)", ErrCorrupt, io.ErrUnexpectedEOF, n, len(buf))
-	}
-	return n, err
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Index is the serializable record index of a PCR dataset: everything a
+// reader needs to plan prefix reads without touching a record file. Locally
+// it lives in the kvstore metadata database (the paper's SQLite/RocksDB
+// role, §3.2); the serving layer ships it to remote readers as JSON over
+// GET /index, which is what lets a network client compute prefix lengths,
+// quality budgets (SizeAtQuality), and delta upgrades entirely client-side.
+type Index struct {
+	// NumGroups is the dataset-wide maximum scan-group count (the number
+	// of quality levels).
+	NumGroups int `json:"num_groups"`
+	// NumImages is the total stored image count.
+	NumImages int `json:"num_images"`
+	// Records lists every record in storage order.
+	Records []RecordInfo `json:"records"`
+}
+
+// RecordInfo is one record's index entry.
+type RecordInfo struct {
+	// Name is the record's object name within its Backend.
+	Name string `json:"name"`
+	// Samples is the record's image count.
+	Samples int `json:"samples"`
+	// Prefixes[g] is the byte length of the record prefix through scan
+	// group g; Prefixes[0] covers metadata only and the last element is
+	// the whole record file.
+	Prefixes []int64 `json:"prefixes"`
+}
+
+// EncodeIndex serializes the index as JSON (the serving layer's wire form).
+func EncodeIndex(ix *Index) ([]byte, error) {
+	data, err := json.Marshal(ix)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding index: %w", err)
+	}
+	return data, nil
+}
+
+// ParseIndex deserializes an index and validates its shape; malformed input
+// is reported as ErrCorrupt.
+func ParseIndex(data []byte) (*Index, error) {
+	var ix Index
+	if err := json.Unmarshal(data, &ix); err != nil {
+		return nil, fmt.Errorf("core: %w: parsing index: %v", ErrCorrupt, err)
+	}
+	for i, re := range ix.Records {
+		if re.Name == "" || len(re.Prefixes) == 0 {
+			return nil, fmt.Errorf("core: %w: index record %d malformed", ErrCorrupt, i)
+		}
+		if re.Prefixes[0] < 0 {
+			return nil, fmt.Errorf("core: %w: index record %d has negative prefix length", ErrCorrupt, i)
+		}
+		for g := 1; g < len(re.Prefixes); g++ {
+			if re.Prefixes[g] < re.Prefixes[g-1] {
+				return nil, fmt.Errorf("core: %w: index record %d prefix lengths not monotone", ErrCorrupt, i)
+			}
+		}
+	}
+	return &ix, nil
+}
+
+// Index returns the dataset's record index. The Index and its Records
+// slice are freshly built on each call; only the per-record Prefixes
+// slices alias the dataset's internal state and must not be mutated.
+func (ds *Dataset) Index() *Index {
+	ix := &Index{NumGroups: ds.NumGroups, NumImages: ds.numImg}
+	for i := range ds.records {
+		re := &ds.records[i]
+		ix.Records = append(ix.Records, RecordInfo{
+			Name:     re.name,
+			Samples:  re.samples,
+			Prefixes: re.prefixes,
+		})
+	}
+	return ix
+}
+
+// OpenDatasetIndex constructs a Dataset over an explicit index and Backend —
+// the entry point for remote readers, which fetch the index from a prefix
+// server and read record ranges through the network Backend. The returned
+// Dataset owns the Backend and closes it with Close.
+func OpenDatasetIndex(ix *Index, b Backend) (*Dataset, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("core: nil index")
+	}
+	if b == nil {
+		return nil, fmt.Errorf("core: nil backend")
+	}
+	ds := &Dataset{
+		backend:   b,
+		NumGroups: ix.NumGroups,
+		numRec:    len(ix.Records),
+		numImg:    ix.NumImages,
+	}
+	for _, re := range ix.Records {
+		if re.Name == "" || len(re.Prefixes) == 0 {
+			return nil, fmt.Errorf("core: malformed record entry")
+		}
+		ds.records = append(ds.records, recordEntry{
+			name:     re.Name,
+			samples:  re.Samples,
+			prefixes: re.Prefixes,
+		})
+	}
+	return ds, nil
+}

@@ -1,8 +1,8 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation on the reproduction stack: synthetic datasets → PCR encoding →
-// simulated storage/pipeline → real SGD training. Each experiment prints
-// the rows or series the paper reports; EXPERIMENTS.md records the
-// paper-vs-measured comparison.
+// evaluation (§4, §5, Appendix A) on the reproduction stack: synthetic
+// datasets → PCR encoding → simulated storage/pipeline → real SGD
+// training. Each experiment prints the rows or series the paper reports;
+// DESIGN.md's per-experiment index maps experiment IDs to paper artifacts.
 package experiments
 
 import (

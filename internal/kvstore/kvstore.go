@@ -1,9 +1,10 @@
 // Package kvstore is an embedded, log-structured key-value store in the
 // bitcask style: an append-only segment log on disk plus a complete
 // in-memory index. It stands in for the SQLite/RocksDB metadata databases
-// the paper's PCR implementation supports — the PCR encoder stores
-// per-record scan-group offsets and per-sample labels in it, and the loader
-// reads them back.
+// the paper's PCR implementation supports (§3.2) — the PCR encoder stores
+// per-record scan-group offsets and per-sample labels in it, the loader
+// reads them back, and the serving layer exports the same index to remote
+// readers.
 //
 // Durability model: Put/Delete append a CRC32C-framed record to the active
 // segment. On reopen the store replays all segments; a torn record at the

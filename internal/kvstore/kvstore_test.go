@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -341,4 +342,92 @@ func dirSize(t *testing.T, dir string) int64 {
 		total += info.Size()
 	}
 	return total
+}
+
+// TestCompactUnderConcurrentReads runs repeated compactions while reader
+// goroutines hammer Get and ForEach. Values are keyed so a read that
+// observes a torn or foreign value fails, readers must never see
+// ErrNotFound for keys that are never deleted, and after the dust settles
+// every key must hold its final version.
+func TestCompactUnderConcurrentReads(t *testing.T) {
+	s, _ := openTemp(t, &Options{MaxSegmentBytes: 2048})
+	const keys = 32
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i)) }
+	val := func(i, version int) []byte { return []byte(fmt.Sprintf("key-%03d-v%06d", i, version)) }
+	for i := 0; i < keys; i++ {
+		if err := s.Put(key(i), val(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rng.Intn(4) == 0 {
+					// Full iteration concurrent with compaction.
+					err := s.ForEach(func(k string, v []byte) error {
+						if !strings.HasPrefix(string(v), k+"-v") {
+							return fmt.Errorf("ForEach: key %q has foreign value %q", k, v)
+						}
+						return nil
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				i := rng.Intn(keys)
+				v, err := s.Get(key(i))
+				if err != nil {
+					errs <- fmt.Errorf("Get(%s): %w", key(i), err)
+					return
+				}
+				if !strings.HasPrefix(string(v), string(key(i))+"-v") {
+					errs <- fmt.Errorf("Get(%s) = %q: torn or foreign value", key(i), v)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Writer + compactor: overwrite every key, then compact, repeatedly.
+	for round := 1; round <= 5; round++ {
+		for i := 0; i < keys; i++ {
+			if err := s.Put(key(i), val(i, round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the dust settles every key holds the final version.
+	for i := 0; i < keys; i++ {
+		v, err := s.Get(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != string(val(i, 5)) {
+			t.Fatalf("key %d = %q after compactions, want %q", i, v, val(i, 5))
+		}
+	}
 }

@@ -4,8 +4,8 @@
 // pixels — losses, accuracies, and gradients in the experiments are
 // computed, not synthesized. Two model profiles ("resnetlike" and
 // "shufflenetlike") pair a network shape with the paper's measured
-// images/second service rates so that the virtual time axis reflects the
-// paper's hardware balance.
+// images/second service rates (§4.1, Figure 9) so that the virtual time
+// axis reflects the paper's hardware balance.
 package nn
 
 import (

@@ -112,6 +112,32 @@ func (f *FilePerImage) Get(e Entry) ([]byte, error) {
 	return data, nil
 }
 
+// ManifestName is the file WriteManifest produces at the dataset root.
+const ManifestName = "manifest.txt"
+
+// ParseManifest decodes a manifest written by WriteManifest. Entry paths
+// are relative to the dataset root (slash-separated), which is what lets a
+// loader resolve them through any storage backend instead of walking a
+// local directory tree.
+func ParseManifest(data []byte) ([]Entry, error) {
+	var entries []Entry
+	for ln, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e Entry
+		if _, err := fmt.Sscanf(line, "%d %d %s %d", &e.ID, &e.Label, &e.Path, &e.Size); err != nil {
+			return nil, fmt.Errorf("recordio: manifest line %d: %w", ln+1, err)
+		}
+		if e.Size < 0 {
+			return nil, fmt.Errorf("recordio: manifest line %d: negative size %d", ln+1, e.Size)
+		}
+		e.Path = filepath.ToSlash(e.Path)
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
 // WriteManifest stores a deterministic listing (id label path size per
 // line), which loaders use to avoid directory walks on every epoch.
 func (f *FilePerImage) WriteManifest() error {
@@ -119,7 +145,7 @@ func (f *FilePerImage) WriteManifest() error {
 	if err != nil {
 		return err
 	}
-	out, err := os.Create(filepath.Join(f.dir, "manifest.txt"))
+	out, err := os.Create(filepath.Join(f.dir, ManifestName))
 	if err != nil {
 		return fmt.Errorf("recordio: %w", err)
 	}

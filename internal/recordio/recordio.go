@@ -1,7 +1,11 @@
 // Package recordio implements the baseline storage layouts the paper
-// compares PCRs against: TFRecord-compatible framed records (length +
-// masked CRC32C, the TensorFlow format) and a File-per-Image directory
-// layout (PyTorch ImageFolder style).
+// compares PCRs against (§2.1, §4.4): TFRecord-compatible framed records
+// (length + masked CRC32C, the TensorFlow format) and a File-per-Image
+// directory layout (PyTorch ImageFolder style, whose highly random reads
+// Figure 1 contrasts with record formats). The file-per-image manifest
+// (WriteManifest/ParseManifest) lists entries by dataset-relative path, so
+// loaders can resolve images through any storage backend instead of
+// walking a local directory tree.
 package recordio
 
 import (

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Client is the read side of the wire protocol: a core.Backend whose
+// objects are the records of a remote prefix server. Plugged into
+// core.OpenDatasetIndex it gives a remote reader the exact local read path
+// — sequential prefix reads become single Range requests, and the LRU
+// prefix cache's delta upgrades (§5) become Range requests for only the
+// missing bytes.
+type Client struct {
+	base string // normalized base URL, no trailing slash
+	hc   *http.Client
+	// ownedTransport is the transport built for the default client; Close
+	// shuts its idle connections down. Nil when the caller supplied the
+	// http.Client (then connection lifecycle is theirs).
+	ownedTransport *http.Transport
+
+	mu  sync.Mutex
+	idx *core.Index
+}
+
+// NewClient returns a Client for the prefix server at baseURL
+// (e.g. "http://host:8100"). A nil httpClient gets a default with bounded
+// dial/header/request timeouts so a wedged server fails a read instead of
+// hanging a scan forever; pass an explicit client to change the limits
+// (record prefix reads are size-bounded, so the 2-minute request cap is
+// generous at any realistic bandwidth).
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad server url %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("serve: bad server url %q: want http:// or https://", baseURL)
+	}
+	var owned *http.Transport
+	if httpClient == nil {
+		owned = &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 30 * time.Second,
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       90 * time.Second,
+		}
+		httpClient = &http.Client{Timeout: 2 * time.Minute, Transport: owned}
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), hc: httpClient, ownedTransport: owned}, nil
+}
+
+// FetchIndex retrieves and caches the dataset's record index.
+func (c *Client) FetchIndex() (*core.Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.idx != nil {
+		return c.idx, nil
+	}
+	resp, err := c.hc.Get(c.base + "/index")
+	if err != nil {
+		return nil, fmt.Errorf("serve: fetching index: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: fetching index: server returned %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve: fetching index: %w", err)
+	}
+	ix, err := core.ParseIndex(data)
+	if err != nil {
+		return nil, err
+	}
+	c.idx = ix
+	return ix, nil
+}
+
+func (c *Client) recordURL(name string) string {
+	return c.base + "/records/" + url.PathEscape(name)
+}
+
+// Open streams the whole named record.
+func (c *Client) Open(name string) (io.ReadCloser, error) {
+	resp, err := c.hc.Get(c.recordURL(name))
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)
+	}
+	return resp.Body, nil
+}
+
+// ReadRange reads [offset, offset+length) of the named record with one
+// HTTP Range request. A 416 means the index promised bytes the server does
+// not have — structural damage, reported as core.ErrCorrupt like a
+// truncated local file.
+func (c *Client) ReadRange(name string, offset, length int64) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("serve: negative range length %d for %s", length, name)
+	}
+	req, err := http.NewRequest(http.MethodGet, c.recordURL(name), nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", offset, offset+length-1))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		buf := make([]byte, length)
+		if n, err := io.ReadFull(resp.Body, buf); err != nil {
+			return nil, fmt.Errorf("serve: reading %s: %w: truncated response (got %d of %d bytes)",
+				name, core.ErrCorrupt, n, length)
+		}
+		return buf, nil
+	case http.StatusOK:
+		// The server ignored the Range header; take the window out of the
+		// full body.
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading %s: %w", name, err)
+		}
+		if int64(len(body)) < offset+length {
+			return nil, fmt.Errorf("serve: reading %s: %w: object is %d bytes, want [%d,%d)",
+				name, core.ErrCorrupt, len(body), offset, offset+length)
+		}
+		return body[offset : offset+length], nil
+	case http.StatusRequestedRangeNotSatisfiable:
+		return nil, fmt.Errorf("serve: reading %s: %w: range [%d,%d) past end of record",
+			name, core.ErrCorrupt, offset, offset+length)
+	default:
+		return nil, fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)
+	}
+}
+
+// List returns the record object names from the server's index.
+func (c *Client) List() ([]string, error) {
+	ix, err := c.FetchIndex()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ix.Records))
+	for _, re := range ix.Records {
+		names = append(names, re.Name)
+	}
+	return names, nil
+}
+
+// Close releases the client: the default transport's idle connections are
+// shut down; a caller-supplied http.Client is left untouched.
+func (c *Client) Close() error {
+	if c.ownedTransport != nil {
+		c.ownedTransport.CloseIdleConnections()
+	}
+	return nil
+}

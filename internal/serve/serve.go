@@ -1,0 +1,423 @@
+// Package serve is the remote serving layer: an HTTP server that exposes a
+// PCR dataset's record index and byte-range prefix reads, plus the matching
+// client Backend (see client.go) that lets a reader on another machine run
+// the paper's entire read path — quality selection, sequential prefix
+// reads, delta cache upgrades (§5) — over a network.
+//
+// The wire protocol is deliberately tiny and HTTP-native, because the
+// paper's central operation maps exactly onto an HTTP Range request:
+//
+//	GET /index                      → the record index as JSON (core.Index):
+//	                                  record names, sample counts, and the
+//	                                  per-scan-group prefix lengths readers
+//	                                  plan reads with (§3.2's metadata DB
+//	                                  role). Carries an ETag; If-None-Match
+//	                                  is answered with 304.
+//	GET /records/{name}             → record bytes. "Range: bytes=a-b" is
+//	                                  honored with 206/Content-Range;
+//	                                  a past-EOF start yields 416. Each
+//	                                  record carries a strong ETag (records
+//	                                  are immutable once written).
+//	GET /records/{name}?group=g     → the same object truncated to the
+//	                                  record's scan-group-g prefix, so a
+//	                                  client without the index can still
+//	                                  fetch "every image of this record at
+//	                                  quality g" in one request. Range
+//	                                  applies within the truncated view.
+//	                                  g uses the record's own scan-group
+//	                                  numbering: group 0 is the metadata-only
+//	                                  prefix (no image scans) and groups
+//	                                  beyond what the record stores clamp to
+//	                                  the whole record. This is NOT the pcr
+//	                                  facade's quality scale, where 0 (Full)
+//	                                  means best — omit ?group for all bytes.
+//	GET /varz                       → counters as expvar-style JSON.
+//	GET /healthz                    → liveness.
+//
+// A reader that scanned at quality g and wants quality g+k issues a Range
+// request starting at its cached prefix length — the server sends only the
+// delta bytes, which is the §5 cache-pressure property working end to end.
+//
+// The server keeps a byte-budgeted LRU of hot record prefixes (reusing
+// internal/cache): concurrent requests for different records (shards) are
+// served in parallel by net/http, and a request that extends a cached
+// prefix performs one backing delta read rather than a full re-read.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// Options configure a Server.
+type Options struct {
+	// CacheBytes is the byte budget of the server's LRU of hot record
+	// prefixes. Zero disables the cache: every request reads through to
+	// the backing store.
+	CacheBytes int64
+}
+
+// Stats is a point-in-time snapshot of the server's counters, exposed at
+// /varz and via expvar in cmd/pcrserved.
+type Stats struct {
+	// Requests counts all HTTP requests handled.
+	Requests int64 `json:"requests"`
+	// RangeRequests counts requests that carried a satisfiable Range.
+	RangeRequests int64 `json:"range_requests"`
+	// NotModified counts If-None-Match hits answered with 304.
+	NotModified int64 `json:"not_modified"`
+	// Errors counts requests answered with a 4xx/5xx status.
+	Errors int64 `json:"errors"`
+	// BytesServed counts record payload bytes written to clients.
+	BytesServed int64 `json:"bytes_served"`
+	// BytesRead counts bytes read from the backing store (with the hot
+	// cache enabled this lags BytesServed on re-reads — the serving-side
+	// analogue of the paper's cache-pressure reduction).
+	BytesRead int64 `json:"bytes_read"`
+	// Cache are the hot-prefix cache's counters (zero when disabled).
+	Cache cache.Stats `json:"cache"`
+}
+
+// Server serves one opened PCR dataset over HTTP. It is an http.Handler;
+// all methods are safe for concurrent use.
+type Server struct {
+	ds      *core.Dataset
+	ownsDS  bool
+	mux     *http.ServeMux
+	byName  map[string]int
+	records []core.RecordInfo
+
+	indexJSON []byte
+	indexETag string
+	etags     []string
+
+	cache *cache.Cache
+
+	requests      atomic.Int64
+	rangeRequests atomic.Int64
+	notModified   atomic.Int64
+	errors        atomic.Int64
+	bytesServed   atomic.Int64
+	bytesRead     atomic.Int64
+}
+
+// New opens the PCR dataset directory at dir and serves it. Close releases
+// the dataset.
+func New(dir string, opts *Options) (*Server, error) {
+	ds, err := core.OpenDataset(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewFromDataset(ds, opts)
+	if err != nil {
+		ds.Close()
+		return nil, err
+	}
+	s.ownsDS = true
+	return s, nil
+}
+
+// NewFromDataset serves an already-opened dataset, which the caller remains
+// responsible for closing.
+func NewFromDataset(ds *core.Dataset, opts *Options) (*Server, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	ix := ds.Index()
+	indexJSON, err := core.EncodeIndex(ix)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ds:        ds,
+		byName:    make(map[string]int, len(ix.Records)),
+		records:   ix.Records,
+		indexJSON: indexJSON,
+		indexETag: fmt.Sprintf("%q", fmt.Sprintf("idx-%08x-%d", crc32.ChecksumIEEE(indexJSON), len(indexJSON))),
+	}
+	for i, re := range ix.Records {
+		s.byName[re.Name] = i
+		// Records are immutable once written, so name + full length is a
+		// strong validator.
+		s.etags = append(s.etags, fmt.Sprintf("%q", fmt.Sprintf("%s-%d", re.Name, re.Prefixes[len(re.Prefixes)-1])))
+	}
+	if o.CacheBytes > 0 {
+		c, err := cache.New(o.CacheBytes, s.fetchRange)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /index", s.handleIndex)
+	mux.HandleFunc("GET /records/{name}", s.handleRecord)
+	mux.HandleFunc("GET /varz", s.handleVarz)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// Close releases the dataset when the server owns it (constructed with New).
+func (s *Server) Close() error {
+	if s.ownsDS {
+		return s.ds.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:      s.requests.Load(),
+		RangeRequests: s.rangeRequests.Load(),
+		NotModified:   s.notModified.Load(),
+		Errors:        s.errors.Load(),
+		BytesServed:   s.bytesServed.Load(),
+		BytesRead:     s.bytesRead.Load(),
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}
+
+// statusRecorder captures the response code so every 4xx/5xx — including
+// the mux's own 404/405 for unknown paths and methods — lands in the
+// Errors counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sr, r)
+	if sr.code >= 400 {
+		s.errors.Add(1)
+	}
+}
+
+// fail writes an error status (counted by ServeHTTP's status recorder).
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("ETag", s.indexETag)
+	if ifNoneMatch(r, s.indexETag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(s.indexJSON)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(s.indexJSON)
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+// handleRecord serves record bytes: the whole record, a ?group=g prefix
+// view, or a byte range within either.
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rec, ok := s.byName[name]
+	if !ok {
+		s.fail(w, http.StatusNotFound, "serve: no record %q", name)
+		return
+	}
+	re := &s.records[rec]
+
+	// The served object is the record truncated to the requested scan
+	// group's prefix (clamped to what the record stores, mirroring the
+	// local reader's grayscale clamp); without ?group it is the whole
+	// record file. Scan-group numbering is the record's own: group 0 is
+	// the metadata-only prefix, not the facade's "Full".
+	size := re.Prefixes[len(re.Prefixes)-1]
+	if gs := r.URL.Query().Get("group"); gs != "" {
+		g, err := strconv.Atoi(gs)
+		if err != nil || g < 0 {
+			s.fail(w, http.StatusBadRequest, "serve: bad group %q", gs)
+			return
+		}
+		if g >= len(re.Prefixes) {
+			g = len(re.Prefixes) - 1
+		}
+		size = re.Prefixes[g]
+	}
+
+	etag := s.etags[rec]
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Accept-Ranges", "bytes")
+	if ifNoneMatch(r, etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	start, length, status := resolveRange(r.Header.Get("Range"), size)
+	if status == http.StatusRequestedRangeNotSatisfiable {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+		s.fail(w, status, "serve: unsatisfiable range %q for %d-byte object", r.Header.Get("Range"), size)
+		return
+	}
+
+	if status == http.StatusPartialContent {
+		s.rangeRequests.Add(1)
+	}
+	// Read before committing any success headers, so a backing failure
+	// (record deleted or truncated underfoot) yields a clean 500 without a
+	// stale Content-Range or ETag attached.
+	var data []byte
+	if r.Method != http.MethodHead {
+		var err error
+		data, err = s.readRange(rec, start, length)
+		if err != nil {
+			w.Header().Del("ETag")
+			w.Header().Del("Accept-Ranges")
+			s.fail(w, http.StatusInternalServerError, "serve: %v", err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+	if status == http.StatusPartialContent {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", start, start+length-1, size))
+	}
+	w.WriteHeader(status)
+	if r.Method == http.MethodHead {
+		return
+	}
+	n, _ := w.Write(data)
+	s.bytesServed.Add(int64(n))
+}
+
+// readRange produces [start, start+length) of record rec, through the hot
+// prefix cache when enabled. Because PCR reads are prefix reads, caching
+// the prefix through start+length serves both this request and any future
+// request at the same or lower quality; a longer future request costs only
+// the delta.
+func (s *Server) readRange(rec int, start, length int64) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	if s.cache == nil {
+		return s.ds.ReadRecordRange(rec, start, length)
+	}
+	prefix, err := s.cache.Get(rec, start+length)
+	if err != nil {
+		return nil, err
+	}
+	return prefix[start : start+length], nil
+}
+
+// fetchRange is the hot cache's backing fetcher, counted as backing-store
+// reads.
+func (s *Server) fetchRange(rec int, offset, length int64) ([]byte, error) {
+	data, err := s.ds.ReadRecordRange(rec, offset, length)
+	if err == nil {
+		s.bytesRead.Add(int64(len(data)))
+	}
+	return data, err
+}
+
+// ifNoneMatch reports whether the request's If-None-Match header matches
+// the entity tag (weak comparison over a list, per RFC 9110 §13.1.2).
+func ifNoneMatch(r *http.Request, etag string) bool {
+	h := r.Header.Get("If-None-Match")
+	if h == "" {
+		return false
+	}
+	for _, part := range strings.Split(h, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveRange interprets a Range header against an object of the given
+// size. It returns the byte window to serve and the HTTP status to serve it
+// with:
+//
+//   - no header, a malformed header, or a multi-part range → the whole
+//     object with 200 (per RFC 9110, an invalid Range header is ignored);
+//   - "bytes=a-b", "bytes=a-", "bytes=-n" → the clamped window with 206;
+//   - a start at or past EOF, or an empty suffix ("bytes=-0") → 416.
+func resolveRange(header string, size int64) (start, length int64, status int) {
+	full := func() (int64, int64, int) { return 0, size, http.StatusOK }
+	if header == "" {
+		return full()
+	}
+	spec, ok := strings.CutPrefix(header, "bytes=")
+	if !ok || strings.Contains(spec, ",") {
+		return full()
+	}
+	first, last, ok := strings.Cut(spec, "-")
+	if !ok {
+		return full()
+	}
+	first, last = strings.TrimSpace(first), strings.TrimSpace(last)
+	if first == "" {
+		// Suffix form: the final n bytes.
+		n, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || n < 0 {
+			return full()
+		}
+		if n == 0 {
+			return 0, 0, http.StatusRequestedRangeNotSatisfiable
+		}
+		if n > size {
+			n = size
+		}
+		return size - n, n, http.StatusPartialContent
+	}
+	a, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || a < 0 {
+		return full()
+	}
+	if a >= size {
+		return 0, 0, http.StatusRequestedRangeNotSatisfiable
+	}
+	end := size - 1
+	if last != "" {
+		b, err := strconv.ParseInt(last, 10, 64)
+		if err != nil {
+			return full()
+		}
+		if b < a {
+			return full()
+		}
+		if b < end {
+			end = b
+		}
+	}
+	return a, end - a + 1, http.StatusPartialContent
+}

@@ -1,0 +1,353 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/pcr"
+)
+
+// startServer synthesizes a small dataset and serves it.
+func startServer(t *testing.T, opts *serve.Options, dsOpts ...pcr.Option) (dir string, srv *serve.Server, ts *httptest.Server) {
+	t.Helper()
+	dir = t.TempDir()
+	if len(dsOpts) == 0 {
+		dsOpts = []pcr.Option{pcr.WithImagesPerRecord(8), pcr.WithScanGroups(4)}
+	}
+	if _, err := pcr.Synthesize(dir, "cars", 0.1, 1, dsOpts...); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts = httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return dir, srv, ts
+}
+
+func fetchIndex(t *testing.T, ts *httptest.Server) *core.Index {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /index: %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.ParseIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// get issues a GET with optional headers and returns the response and body.
+func get(t *testing.T, url string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestIndexRoundTripAndETag(t *testing.T) {
+	dir, _, ts := startServer(t, nil)
+	ix := fetchIndex(t, ts)
+	if len(ix.Records) == 0 || ix.NumImages == 0 {
+		t.Fatalf("index is empty: %+v", ix)
+	}
+	// The served index must match what the local dataset reports.
+	ds, err := core.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ix.NumImages != ds.NumImages() || len(ix.Records) != ds.NumRecords() || ix.NumGroups != ds.NumGroups {
+		t.Fatalf("served index %+v disagrees with local dataset", ix)
+	}
+
+	resp, _ := get(t, ts.URL+"/index", nil)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("index has no ETag")
+	}
+	resp304, body := get(t, ts.URL+"/index", map[string]string{"If-None-Match": etag})
+	if resp304.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("If-None-Match: got %s with %d body bytes, want 304 empty", resp304.Status, len(body))
+	}
+}
+
+func TestRecordRangeSemantics(t *testing.T) {
+	dir, _, ts := startServer(t, nil)
+	ix := fetchIndex(t, ts)
+	re := ix.Records[0]
+	full, err := os.ReadFile(filepath.Join(dir, re.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(len(full))
+	if want := re.Prefixes[len(re.Prefixes)-1]; size != want {
+		t.Fatalf("record file is %d bytes, index says %d", size, want)
+	}
+	url := ts.URL + "/records/" + re.Name
+
+	cases := []struct {
+		name       string
+		rangeHdr   string
+		wantStatus int
+		wantBody   []byte
+		wantCR     string // Content-Range
+	}{
+		{"full", "", http.StatusOK, full, ""},
+		{"mid range", "bytes=10-19", http.StatusPartialContent, full[10:20], fmt.Sprintf("bytes 10-19/%d", size)},
+		{"open ended", "bytes=5-", http.StatusPartialContent, full[5:], fmt.Sprintf("bytes 5-%d/%d", size-1, size)},
+		{"suffix", "bytes=-7", http.StatusPartialContent, full[size-7:], fmt.Sprintf("bytes %d-%d/%d", size-7, size-1, size)},
+		{"clamped end", fmt.Sprintf("bytes=0-%d", size+1000), http.StatusPartialContent, full, fmt.Sprintf("bytes 0-%d/%d", size-1, size)},
+		{"first byte", "bytes=0-0", http.StatusPartialContent, full[:1], fmt.Sprintf("bytes 0-0/%d", size)},
+		{"past EOF", fmt.Sprintf("bytes=%d-", size), http.StatusRequestedRangeNotSatisfiable, nil, fmt.Sprintf("bytes */%d", size)},
+		{"empty suffix", "bytes=-0", http.StatusRequestedRangeNotSatisfiable, nil, fmt.Sprintf("bytes */%d", size)},
+		{"inverted range ignored", "bytes=9-3", http.StatusOK, full, ""},
+		{"empty spec ignored", "bytes=", http.StatusOK, full, ""},
+		{"multipart ignored", "bytes=0-1,4-5", http.StatusOK, full, ""},
+		{"non-bytes unit ignored", "items=0-4", http.StatusOK, full, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hdr := map[string]string{}
+			if tc.rangeHdr != "" {
+				hdr["Range"] = tc.rangeHdr
+			}
+			resp, body := get(t, url, hdr)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("Range %q: status %s, want %d", tc.rangeHdr, resp.Status, tc.wantStatus)
+			}
+			if tc.wantStatus != http.StatusRequestedRangeNotSatisfiable && !bytes.Equal(body, tc.wantBody) {
+				t.Fatalf("Range %q: body %d bytes, want %d", tc.rangeHdr, len(body), len(tc.wantBody))
+			}
+			if tc.wantCR != "" {
+				if got := resp.Header.Get("Content-Range"); got != tc.wantCR {
+					t.Fatalf("Range %q: Content-Range %q, want %q", tc.rangeHdr, got, tc.wantCR)
+				}
+			}
+			if resp.Header.Get("Accept-Ranges") != "bytes" {
+				t.Fatalf("Range %q: missing Accept-Ranges", tc.rangeHdr)
+			}
+		})
+	}
+}
+
+func TestGroupPrefixView(t *testing.T) {
+	dir, _, ts := startServer(t, nil)
+	ix := fetchIndex(t, ts)
+	re := ix.Records[0]
+	full, err := os.ReadFile(filepath.Join(dir, re.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := ts.URL + "/records/" + re.Name
+
+	for g := 0; g < len(re.Prefixes); g++ {
+		resp, body := get(t, fmt.Sprintf("%s?group=%d", url, g), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("group=%d: %s", g, resp.Status)
+		}
+		if want := full[:re.Prefixes[g]]; !bytes.Equal(body, want) {
+			t.Fatalf("group=%d: got %d bytes, want the %d-byte prefix", g, len(body), len(want))
+		}
+	}
+	// A group beyond what the record stores clamps to the whole record.
+	resp, body := get(t, url+"?group=99", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, full) {
+		t.Fatalf("group=99: status %s, %d bytes; want full record", resp.Status, len(body))
+	}
+	// Range applies within the truncated view: past the group prefix is 416.
+	resp, _ = get(t, url+"?group=1", map[string]string{
+		"Range": fmt.Sprintf("bytes=%d-", re.Prefixes[1]),
+	})
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("range past group prefix: %s, want 416", resp.Status)
+	}
+	for _, bad := range []string{"-1", "x", ""} {
+		resp, _ := get(t, url+"?group="+bad, nil)
+		want := http.StatusBadRequest
+		if bad == "" { // empty value means "no group filter"
+			want = http.StatusOK
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("group=%q: %s, want %d", bad, resp.Status, want)
+		}
+	}
+}
+
+func TestRecordETagAndNotFound(t *testing.T) {
+	_, _, ts := startServer(t, nil)
+	ix := fetchIndex(t, ts)
+	url := ts.URL + "/records/" + ix.Records[0].Name
+	resp, _ := get(t, url, nil)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("record has no ETag")
+	}
+	resp304, body := get(t, url, map[string]string{"If-None-Match": etag})
+	if resp304.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("If-None-Match: %s with %d bytes, want 304 empty", resp304.Status, len(body))
+	}
+	respNF, _ := get(t, ts.URL+"/records/no-such-record.pcr", nil)
+	if respNF.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing record: %s, want 404", respNF.Status)
+	}
+}
+
+// TestHotCacheServesRepeatsFromMemory: with the server-side LRU on, a
+// repeated read costs no backing-store bytes and a group upgrade costs only
+// the delta.
+func TestHotCacheServesRepeatsFromMemory(t *testing.T) {
+	_, srv, ts := startServer(t, &serve.Options{CacheBytes: 1 << 30})
+	ix := fetchIndex(t, ts)
+	re := ix.Records[0]
+	url := ts.URL + "/records/" + re.Name
+
+	get(t, url+"?group=1", nil)
+	afterCold := srv.Stats()
+	if afterCold.BytesRead != re.Prefixes[1] {
+		t.Fatalf("cold group-1 read: BytesRead = %d, want %d", afterCold.BytesRead, re.Prefixes[1])
+	}
+	get(t, url+"?group=1", nil)
+	afterWarm := srv.Stats()
+	if afterWarm.BytesRead != afterCold.BytesRead {
+		t.Fatalf("warm repeat read hit the backing store: %d → %d bytes", afterCold.BytesRead, afterWarm.BytesRead)
+	}
+	if afterWarm.Cache.Hits == 0 {
+		t.Fatal("warm repeat read did not count a cache hit")
+	}
+	get(t, url+"?group=2", nil)
+	afterUpgrade := srv.Stats()
+	if want := afterWarm.BytesRead + (re.Prefixes[2] - re.Prefixes[1]); afterUpgrade.BytesRead != want {
+		t.Fatalf("group upgrade read %d backing bytes total, want %d (delta only)", afterUpgrade.BytesRead, want)
+	}
+	if afterUpgrade.Cache.UpgradeHits == 0 {
+		t.Fatal("group upgrade did not count an upgrade hit")
+	}
+}
+
+func TestVarzAndHealthz(t *testing.T) {
+	_, srv, ts := startServer(t, &serve.Options{CacheBytes: 1 << 20})
+	resp, body := get(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	_ = body
+	fetchIndex(t, ts)
+	resp, body = get(t, ts.URL+"/varz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("varz: %s", resp.Status)
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("varz is not Stats JSON: %v", err)
+	}
+	if st.Requests == 0 {
+		t.Fatal("varz reports zero requests after requests were made")
+	}
+	if st.Requests != srv.Stats().Requests-1 { // -1: the /varz request itself raced the snapshot
+		// Allow the snapshot to differ by in-flight requests; just check sanity.
+		if st.Requests > srv.Stats().Requests {
+			t.Fatalf("varz requests %d exceeds live counter %d", st.Requests, srv.Stats().Requests)
+		}
+	}
+}
+
+// TestConcurrentRangeReads hammers the server with concurrent ranged reads
+// across records — the shared LRU and counters must stay consistent (run
+// under -race in CI).
+func TestConcurrentRangeReads(t *testing.T) {
+	dir, srv, ts := startServer(t, &serve.Options{CacheBytes: 1 << 20})
+	ix := fetchIndex(t, ts)
+	files := make(map[string][]byte)
+	for _, re := range ix.Records {
+		data, err := os.ReadFile(filepath.Join(dir, re.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[re.Name] = data
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 30; i++ {
+				re := ix.Records[rng.Intn(len(ix.Records))]
+				full := files[re.Name]
+				start := rng.Int63n(int64(len(full)))
+				end := start + rng.Int63n(int64(len(full))-start)
+				req, _ := http.NewRequest(http.MethodGet, ts.URL+"/records/"+re.Name, nil)
+				req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", start, end))
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusPartialContent {
+					errc <- fmt.Errorf("range read: %s", resp.Status)
+					return
+				}
+				if !bytes.Equal(body, full[start:end+1]) {
+					errc <- fmt.Errorf("range [%d,%d] of %s: wrong bytes", start, end, re.Name)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.RangeRequests == 0 || st.BytesServed == 0 {
+		t.Fatalf("counters not advancing: %+v", st)
+	}
+}

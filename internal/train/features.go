@@ -3,7 +3,7 @@
 // real on images decoded at a chosen scan group, and charges virtual time
 // for storage and compute through the loader/iosim pipeline — producing the
 // time-to-accuracy curves, loading-rate bars, and gradient-similarity data
-// of the paper's evaluation.
+// of the paper's evaluation (§4, Figures 4–9 and 19–22).
 package train
 
 import (

@@ -1,8 +1,10 @@
 // Package wire implements the subset of the protobuf wire format the PCR
-// system uses for metadata serialization: varints, zigzag-encoded signed
-// integers, and length-delimited fields. The paper notes that "serialization
-// libraries, such as Protobuf, handle both the packing and unpacking steps
-// transparently" — this package is that library.
+// system uses for metadata serialization (§3.2): varints, zigzag-encoded
+// signed integers, and length-delimited fields. The paper notes that
+// "serialization libraries, such as Protobuf, handle both the packing and
+// unpacking steps transparently" — this package is that library, used by
+// the record metadata sections, the kvstore index entries, and the
+// TFRecord baseline's frames.
 package wire
 
 import (

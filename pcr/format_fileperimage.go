@@ -2,8 +2,14 @@ package pcr
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
 	"iter"
+	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/recordio"
 )
 
@@ -30,6 +36,36 @@ func (w *fpiWriter) append(s Sample) error { return w.fpi.Put(s.ID, s.Label, s.J
 func (w *fpiWriter) close() error { return w.fpi.WriteManifest() }
 
 func (fpiFormat) open(dir string, cfg *config) (formatReader, error) {
+	backend := core.NewDirBackend(dir)
+	entries, err := fpiEntries(dir, backend)
+	if err != nil {
+		return nil, err
+	}
+	return &fpiReader{backend: backend, entries: entries}, nil
+}
+
+// fpiEntries lists the dataset through its manifest (relative paths, read
+// through the Backend); a hand-built directory without a manifest falls
+// back to the walk, relativized so reads still go through the Backend.
+func fpiEntries(dir string, backend core.Backend) ([]recordio.Entry, error) {
+	rc, err := backend.Open(recordio.ManifestName)
+	switch {
+	case err == nil:
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("pcr: %w", err)
+		}
+		entries, err := recordio.ParseManifest(data)
+		if err != nil {
+			return nil, fmt.Errorf("pcr: %w: %v", ErrCorrupt, err)
+		}
+		return entries, nil
+	case !errors.Is(err, fs.ErrNotExist):
+		// A manifest that exists but cannot be read is an error, not a
+		// license to serve a possibly different entry set from the walk.
+		return nil, err
+	}
 	fpi, err := recordio.OpenFilePerImage(dir)
 	if err != nil {
 		return nil, err
@@ -38,17 +74,24 @@ func (fpiFormat) open(dir string, cfg *config) (formatReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &fpiReader{fpi: fpi, entries: entries}, nil
+	for i := range entries {
+		rel, err := filepath.Rel(dir, entries[i].Path)
+		if err != nil {
+			return nil, fmt.Errorf("pcr: %w", err)
+		}
+		entries[i].Path = filepath.ToSlash(rel)
+	}
+	return entries, nil
 }
 
 type fpiReader struct {
-	fpi     *recordio.FilePerImage
+	backend core.Backend
 	entries []recordio.Entry
 }
 
 func (r *fpiReader) numImages() int { return len(r.entries) }
 func (r *fpiReader) qualities() int { return 1 }
-func (r *fpiReader) close() error   { return nil }
+func (r *fpiReader) close() error   { return r.backend.Close() }
 
 func (r *fpiReader) sizeAtQuality(q int) (int64, error) {
 	var total int64
@@ -65,7 +108,7 @@ func (r *fpiReader) scanEncoded(ctx context.Context, q int) iter.Seq2[Sample, er
 				yield(Sample{}, err)
 				return
 			}
-			data, err := r.fpi.Get(e)
+			data, err := r.backend.ReadRange(e.Path, 0, e.Size)
 			if err != nil {
 				yield(Sample{}, err)
 				return

@@ -3,9 +3,7 @@ package pcr
 import (
 	"context"
 	"fmt"
-	"io"
 	"iter"
-	"os"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -32,11 +30,22 @@ func (pcrFormat) open(dir string, cfg *config) (formatReader, error) {
 	if err != nil {
 		return nil, err
 	}
+	r, err := newPCRReader(ds, cfg)
+	if err != nil {
+		ds.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// newPCRReader wires the optional LRU prefix cache over a dataset opened
+// against any Backend — the shared tail of Open (local disk) and
+// OpenRemote (HTTP prefix server).
+func newPCRReader(ds *core.Dataset, cfg *config) (*pcrReader, error) {
 	r := &pcrReader{ds: ds}
 	if cfg.cacheBytes > 0 {
 		c, err := cache.New(cfg.cacheBytes, r.fetchRange)
 		if err != nil {
-			ds.Close()
 			return nil, err
 		}
 		r.cache = c
@@ -92,26 +101,13 @@ func (r *pcrReader) sizeAtQuality(q int) (int64, error) {
 }
 
 // fetchRange is the cache's backing fetcher: one ranged read of a record
-// file. The cache calls it with offset == 0 on a miss and offset == cached
-// length on a quality upgrade, so reads stay sequential per record.
+// through the dataset's storage Backend (local disk or a remote prefix
+// server). The cache calls it with offset == 0 on a miss and offset ==
+// cached length on a quality upgrade, so reads stay sequential per record
+// — and a remote upgrade becomes a single HTTP Range request for only the
+// delta bytes.
 func (r *pcrReader) fetchRange(record int, offset, length int64) ([]byte, error) {
-	path, err := r.ds.RecordPath(record)
-	if err != nil {
-		return nil, err
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("pcr: %w", err)
-	}
-	defer f.Close()
-	buf := make([]byte, length)
-	if _, err := f.ReadAt(buf, offset); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("pcr: reading %s: %w: truncated record", path, ErrCorrupt)
-		}
-		return nil, fmt.Errorf("pcr: reading %s: %w", path, err)
-	}
-	return buf, nil
+	return r.ds.ReadRecordRange(record, offset, length)
 }
 
 // readPrefix returns the prefix bytes and parsed metadata of record i at

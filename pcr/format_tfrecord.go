@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/recordio"
 	"repro/internal/wire"
 )
@@ -80,11 +81,17 @@ func (w *tfrecordWriter) close() error {
 }
 
 func (tfrecordFormat) open(dir string, cfg *config) (formatReader, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, tfrecordMetaFile))
+	backend := core.NewDirBackend(dir)
+	rc, err := backend.Open(tfrecordMetaFile)
 	if err != nil {
 		return nil, fmt.Errorf("pcr: tfrecord metadata missing: %w", err)
 	}
-	r := &tfrecordReader{dir: dir}
+	raw, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, fmt.Errorf("pcr: %w", err)
+	}
+	r := &tfrecordReader{backend: backend}
 	if err := parseTFRecordMeta(raw, r); err != nil {
 		return nil, fmt.Errorf("pcr: %w: tfrecord metadata: %v", ErrCorrupt, err)
 	}
@@ -121,20 +128,20 @@ func parseTFRecordMeta(raw []byte, r *tfrecordReader) error {
 }
 
 type tfrecordReader struct {
-	dir   string
-	count int
-	bytes int64
+	backend core.Backend
+	count   int
+	bytes   int64
 }
 
 func (r *tfrecordReader) numImages() int { return r.count }
 func (r *tfrecordReader) qualities() int { return 1 }
-func (r *tfrecordReader) close() error   { return nil }
+func (r *tfrecordReader) close() error   { return r.backend.Close() }
 
 func (r *tfrecordReader) sizeAtQuality(q int) (int64, error) { return r.bytes, nil }
 
 func (r *tfrecordReader) scanEncoded(ctx context.Context, q int) iter.Seq2[Sample, error] {
 	return func(yield func(Sample, error) bool) {
-		f, err := os.Open(filepath.Join(r.dir, tfrecordDataFile))
+		f, err := r.backend.Open(tfrecordDataFile)
 		if err != nil {
 			yield(Sample{}, fmt.Errorf("pcr: %w", err))
 			return

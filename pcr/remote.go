@@ -1,0 +1,46 @@
+package pcr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// OpenRemote opens a PCR dataset served by a pcrserved prefix server (see
+// cmd/pcrserved and internal/serve). The returned Dataset behaves exactly
+// like a local one: Scan streams at any stored quality, SizeAtQuality
+// prices a scan from the index without network reads of record bytes, and
+// — with WithCacheBytes — a re-scan at a higher quality fetches only the
+// delta bytes of each record over the wire, the paper's §5 cache property
+// running across the network.
+//
+// Remote serving is specific to the PCR layout (its whole point is prefix
+// ranges), so WithFormat selecting a baseline format is an error.
+func OpenRemote(baseURL string, opts ...Option) (*Dataset, error) {
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.format != PCR {
+		return nil, fmt.Errorf("pcr: remote serving supports the pcr format only, not %s", cfg.format.Name())
+	}
+	client, err := serve.NewClient(baseURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := client.FetchIndex()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := core.OpenDatasetIndex(ix, client)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newPCRReader(ds, cfg)
+	if err != nil {
+		ds.Close()
+		return nil, err
+	}
+	return &Dataset{r: r, cfg: cfg}, nil
+}
