@@ -112,11 +112,13 @@ func run(dir, formatName string, workers, passes int, decode bool, cacheMB int64
 			after, _ := fetchedSoFar()
 			moved = after - before
 		}
-		fmt.Printf("%8d %12.0f %12.0f %11.1f MB/s %12v\n",
+		// An empty dataset or a sub-resolution elapsed time would print
+		// NaN/+Inf; degenerate rows show "-" instead.
+		fmt.Printf("%8d %12s %12s %14s %12v\n",
 			q,
-			float64(images)/elapsed.Seconds(),
-			float64(moved)/float64(images),
-			float64(moved)/elapsed.Seconds()/1e6,
+			ratio(float64(images), elapsed.Seconds(), "%.0f"),
+			ratio(float64(moved), float64(images), "%.0f"),
+			ratio(float64(moved)/1e6, elapsed.Seconds(), "%.1f MB/s"),
 			elapsed.Round(time.Millisecond))
 	}
 	if stats, ok := ds.CacheStats(); ok {
@@ -124,6 +126,15 @@ func run(dir, formatName string, workers, passes int, decode bool, cacheMB int64
 			stats.Hits, stats.UpgradeHits, stats.Misses, stats.Evictions, stats.BytesFetched)
 	}
 	return nil
+}
+
+// ratio formats num/den with the given verb, or "-" when the denominator
+// is not positive (empty dataset, sub-resolution elapsed time).
+func ratio(num, den float64, verb string) string {
+	if den <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf(verb, num/den)
 }
 
 // benchRecords drives the §A.5 structure: worker goroutines pull record

@@ -1,123 +1,267 @@
 // Command pcrtrain runs one training configuration of the reproduction
-// harness: a synthetic dataset (built through the public pcr package), a
-// model profile, a task granularity, and a scan group (or dynamic tuning),
-// printing the per-epoch curve.
+// harness. By default it trains over REAL I/O: the dataset is written to (or
+// opened from) disk — or served by a pcrserved URL — and every epoch streams
+// through pcr.Loader (sharded, shuffled, batch-assembled, quality-adaptive),
+// reporting measured bytes moved, images/s, and stall time per epoch.
 //
 //	pcrtrain -dataset cars -model shufflenetlike -task multiclass -group 2
-//	pcrtrain -dataset ham10000 -model resnetlike -dynamic cosine
-//	pcrtrain -dataset cars -task binary -group 1 -epochs 40
+//	pcrtrain -dataset cars -dynamic plateau -epochs 12
+//	pcrtrain -dataset cars -data /tmp/cars-pcr            # reuse a dataset dir
+//	pcrtrain -dataset cars -data http://localhost:8100    # train over the wire
+//
+// The -sim flag selects the virtual-clock harness instead (internal/train +
+// internal/iosim), which reproduces the paper's figures under the paper's
+// hardware balance and supports -dynamic cosine:
+//
+//	pcrtrain -sim -dataset ham10000 -model resnetlike -dynamic cosine
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/autotune"
 	"repro/internal/nn"
+	"repro/internal/realtrain"
 	"repro/internal/synth"
 	"repro/internal/train"
 	"repro/pcr"
 )
 
 func main() {
-	dataset := flag.String("dataset", "cars", "imagenet, celebahq, ham10000, cars")
-	model := flag.String("model", "shufflenetlike", "resnetlike or shufflenetlike")
-	taskName := flag.String("task", "multiclass", "multiclass, make-only, binary")
-	group := flag.Int("group", 0, "scan group (0 = baseline/full quality)")
-	dynamic := flag.String("dynamic", "", "dynamic tuning: cosine or plateau (overrides -group)")
-	mix := flag.Float64("mix", 0, "mixture weight for dynamic tuning (0 = hard selection)")
-	epochs := flag.Int("epochs", 24, "epoch budget")
-	scale := flag.Float64("scale", 0.5, "dataset size multiplier")
-	seed := flag.Int64("seed", 42, "seed")
+	var cfg cliConfig
+	flag.StringVar(&cfg.dataset, "dataset", "cars", "synthetic profile: imagenet, celebahq, ham10000, cars")
+	flag.StringVar(&cfg.data, "data", "", "dataset directory or pcrserved URL (empty: synthesize into a temp dir)")
+	flag.StringVar(&cfg.model, "model", "shufflenetlike", "resnetlike or shufflenetlike")
+	flag.StringVar(&cfg.task, "task", "multiclass", "multiclass, make-only, binary")
+	flag.IntVar(&cfg.group, "group", 0, "scan group / quality (0 = full quality)")
+	flag.StringVar(&cfg.dynamic, "dynamic", "", "dynamic tuning: plateau (real I/O), or cosine/plateau with -sim")
+	flag.Float64Var(&cfg.mix, "mix", 0, "mixture weight for -sim dynamic tuning (0 = hard selection)")
+	flag.IntVar(&cfg.epochs, "epochs", 8, "epoch budget")
+	flag.IntVar(&cfg.batch, "batch", 32, "SGD minibatch size")
+	flag.Float64Var(&cfg.scale, "scale", 0.5, "dataset size multiplier (when synthesizing)")
+	flag.Int64Var(&cfg.seed, "seed", 42, "seed")
+	flag.IntVar(&cfg.imagesPerRecord, "images-per-record", 16, "record batching factor (when synthesizing)")
+	flag.IntVar(&cfg.scanGroups, "scan-groups", 5, "scan-group coalescing (when synthesizing; 0 = one group per scan)")
+	flag.IntVar(&cfg.shards, "shards", 1, "total distributed shards")
+	flag.IntVar(&cfg.shard, "shard", 0, "this worker's shard index")
+	flag.Int64Var(&cfg.cacheMB, "cache-mb", 0, "LRU prefix cache budget in MiB (0 = no cache)")
+	flag.BoolVar(&cfg.sim, "sim", false, "use the virtual-clock harness (paper-figure mode) instead of real I/O")
 	flag.Parse()
-	if err := run(*dataset, *model, *taskName, *group, *dynamic, *mix, *epochs, *scale, *seed); err != nil {
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pcrtrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, model, taskName string, group int, dynamic string, mix float64, epochs int, scale float64, seed int64) error {
-	mp, err := nn.ProfileByName(model)
+type cliConfig struct {
+	dataset, data, model, task, dynamic string
+	group, epochs, batch                int
+	imagesPerRecord, scanGroups         int
+	shards, shard                       int
+	mix, scale                          float64
+	seed, cacheMB                       int64
+	sim                                 bool
+}
+
+func run(w io.Writer, cfg cliConfig) error {
+	if cfg.sim {
+		return runSim(w, cfg)
+	}
+	_, err := runReal(w, cfg)
+	return err
+}
+
+// runReal is the default mode: train through pcr.Loader over a real local
+// or remote dataset. It returns the measured result so tests can assert on
+// bytes moved and losses.
+func runReal(w io.Writer, cfg cliConfig) (*realtrain.Result, error) {
+	mp, err := nn.ProfileByName(cfg.model)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := synth.ProfileByName(cfg.dataset)
+	if err != nil {
+		return nil, err
+	}
+	task, err := taskByName(cfg.task, profile)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve the dataset: a served URL, an existing directory, or a fresh
+	// synthesis into a temp dir.
+	data := cfg.data
+	remote := strings.HasPrefix(data, "http://") || strings.HasPrefix(data, "https://")
+	if data == "" {
+		dir, err := os.MkdirTemp("", "pcrtrain-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		n, err := pcr.Synthesize(dir, cfg.dataset, cfg.scale, cfg.seed,
+			pcr.WithImagesPerRecord(cfg.imagesPerRecord),
+			pcr.WithScanGroups(cfg.scanGroups))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "synthesized %s ×%g: %d images → %s\n", cfg.dataset, cfg.scale, n, dir)
+		data = dir
+	}
+	var ds *pcr.Dataset
+	if remote {
+		ds, err = pcr.OpenRemote(data, pcr.WithCacheBytes(cfg.cacheMB<<20))
+	} else {
+		ds, err = pcr.Open(data, pcr.WithCacheBytes(cfg.cacheMB<<20))
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer ds.Close()
+
+	var policy pcr.QualityPolicy
+	switch cfg.dynamic {
+	case "":
+		policy = pcr.FixedQuality(cfg.group) // group 0 == pcr.Full
+	case "plateau":
+		policy = &pcr.PlateauPolicy{
+			Detector: &autotune.PlateauController{Window: 3, MinImprove: 0.05},
+		}
+	case "cosine":
+		return nil, fmt.Errorf("cosine tuning needs full-quality gradient probes; use -sim -dynamic cosine")
+	default:
+		return nil, fmt.Errorf("unknown controller %q", cfg.dynamic)
+	}
+
+	where := "local"
+	if remote {
+		where = "remote"
+	}
+	fmt.Fprintf(w, "dataset %s (%s): %d records, %d images, %d quality levels\n",
+		data, where, ds.NumRecords(), ds.NumImages(), ds.Qualities())
+	fmt.Fprintf(w, "model=%s task=%s (%d classes) epochs=%d batch=%d shard %d/%d\n\n",
+		mp.Name, task.Name, task.NumClasses, cfg.epochs, cfg.batch, cfg.shard, cfg.shards)
+
+	res, err := realtrain.Run(context.Background(), ds, realtrain.Config{
+		Model:      mp,
+		Task:       task,
+		Epochs:     cfg.epochs,
+		BatchSize:  cfg.batch,
+		Seed:       cfg.seed,
+		Policy:     policy,
+		Shards:     cfg.shards,
+		ShardIndex: cfg.shard,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %8s\n", "epoch", "loss", "img/s", "MB moved", "stall", "quality")
+	for _, p := range res.Epochs {
+		st := p.Stats
+		q := fmt.Sprintf("%d", st.MaxQuality)
+		if st.MinQuality != st.MaxQuality {
+			q = fmt.Sprintf("%d–%d", st.MinQuality, st.MaxQuality)
+		}
+		fmt.Fprintf(w, "%6d %10.4f %10.0f %10.2f %9.3fs %8s\n",
+			p.Epoch, p.TrainLoss, st.ImagesPerSec,
+			float64(st.BytesRead)/1e6, st.Stall.Seconds(), q)
+	}
+	fmt.Fprintf(w, "\nfinal loss %.4f; %.2f MB moved in %v\n",
+		res.FinalLoss, float64(res.TotalBytes)/1e6, res.TotalWall.Round(time.Millisecond))
+	return res, nil
+}
+
+func taskByName(name string, profile synth.Profile) (synth.Task, error) {
+	switch name {
+	case "multiclass":
+		return synth.Multiclass(profile), nil
+	case "make-only":
+		return synth.CoarseOnly(profile), nil
+	case "binary":
+		return synth.Binary(profile, 0)
+	default:
+		return synth.Task{}, fmt.Errorf("unknown task %q", name)
+	}
+}
+
+// runSim is the pre-Loader virtual-clock harness, kept for regenerating the
+// paper's figures under the paper's hardware balance.
+func runSim(w io.Writer, cfg cliConfig) error {
+	mp, err := nn.ProfileByName(cfg.model)
 	if err != nil {
 		return err
 	}
-	set, err := pcr.BuildTrainSet(dataset, scale, seed, pcr.WithImagesPerRecord(16))
+	set, err := pcr.BuildTrainSet(cfg.dataset, cfg.scale, cfg.seed, pcr.WithImagesPerRecord(cfg.imagesPerRecord))
 	if err != nil {
 		return err
 	}
 	profile := set.Profile
-
-	var task synth.Task
-	switch taskName {
-	case "multiclass":
-		task = synth.Multiclass(profile)
-	case "make-only":
-		task = synth.CoarseOnly(profile)
-	case "binary":
-		task, err = synth.Binary(profile, 0)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown task %q", taskName)
+	task, err := taskByName(cfg.task, profile)
+	if err != nil {
+		return err
 	}
 
-	fmt.Printf("dataset=%s (%d train / %d test, %d records, %d scan groups)\n",
+	fmt.Fprintf(w, "dataset=%s (%d train / %d test, %d records, %d scan groups)\n",
 		profile.Name, set.NumTrain(), set.NumTest(), set.NumRecords(), set.NumGroups)
-	fmt.Printf("model=%s task=%s (%d classes) epochs=%d\n\n", mp.Name, task.Name, task.NumClasses, epochs)
+	fmt.Fprintf(w, "model=%s task=%s (%d classes) epochs=%d\n\n", mp.Name, task.Name, task.NumClasses, cfg.epochs)
 
-	if dynamic != "" {
+	if cfg.dynamic != "" {
 		var ctrl autotune.Controller
-		switch dynamic {
+		switch cfg.dynamic {
 		case "cosine":
-			ctrl = &autotune.CosineController{Threshold: 0.9, TuneEvery: epochs / 4, WarmupEpochs: 3}
+			ctrl = &autotune.CosineController{Threshold: 0.9, TuneEvery: cfg.epochs / 4, WarmupEpochs: 3}
 		case "plateau":
 			ctrl = &autotune.PlateauController{Window: 3, MinImprove: 0.08, ProbeSteps: 6}
 		default:
-			return fmt.Errorf("unknown controller %q", dynamic)
+			return fmt.Errorf("unknown controller %q", cfg.dynamic)
 		}
 		res, err := autotune.Run(set, autotune.Config{
 			Model: mp, Task: task, Controller: ctrl,
-			Epochs: epochs, Seed: seed, MixWeight: mix,
+			Epochs: cfg.epochs, Seed: cfg.seed, MixWeight: cfg.mix,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%6s %10s %10s %8s %10s %6s\n", "epoch", "time", "loss", "acc", "img/s", "group")
+		fmt.Fprintf(w, "%6s %10s %10s %8s %10s %6s\n", "epoch", "time", "loss", "acc", "img/s", "group")
 		for _, p := range res.Points {
 			acc := "-"
 			if p.Sampled {
 				acc = fmt.Sprintf("%.1f%%", p.TestAcc*100)
 			}
-			fmt.Printf("%6d %9.2fs %10.4f %8s %10.0f %6d\n",
+			fmt.Fprintf(w, "%6d %9.2fs %10.4f %8s %10.0f %6d\n",
 				p.Epoch, p.TimeSec, p.TrainLoss, acc, p.ImagesPerSec, p.Group)
 		}
-		fmt.Printf("\nfinal accuracy %.1f%% in %.2fs (%d group switches)\n",
+		fmt.Fprintf(w, "\nfinal accuracy %.1f%% in %.2fs (%d group switches)\n",
 			res.FinalAcc*100, res.TotalTimeSec, res.GroupSwitches)
 		return nil
 	}
 
-	g := group
+	g := cfg.group
 	if g <= 0 || g > set.NumGroups {
 		g = set.NumGroups
 	}
 	res, err := train.Run(set, train.RunConfig{
-		Model: mp, Task: task, ScanGroup: g, Epochs: epochs, Seed: seed,
+		Model: mp, Task: task, ScanGroup: g, Epochs: cfg.epochs, Seed: cfg.seed,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%6s %10s %10s %8s %10s %10s\n", "epoch", "time", "loss", "acc", "img/s", "stall")
+	fmt.Fprintf(w, "%6s %10s %10s %8s %10s %10s\n", "epoch", "time", "loss", "acc", "img/s", "stall")
 	for _, p := range res.Points {
 		acc := "-"
 		if p.Sampled {
 			acc = fmt.Sprintf("%.1f%%", p.TestAcc*100)
 		}
-		fmt.Printf("%6d %9.2fs %10.4f %8s %10.0f %9.3fs\n",
+		fmt.Fprintf(w, "%6d %9.2fs %10.4f %8s %10.0f %9.3fs\n",
 			p.Epoch, p.TimeSec, p.TrainLoss, acc, p.ImagesPerSec, p.StallSec)
 	}
-	fmt.Printf("\nscan group %d: final accuracy %.1f%% in %.2fs (%d bytes/epoch)\n",
+	fmt.Fprintf(w, "\nscan group %d: final accuracy %.1f%% in %.2fs (%d bytes/epoch)\n",
 		g, res.FinalAcc*100, res.TotalTimeSec, res.BytesPerEpoch)
 	return nil
 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/pcr"
+)
+
+// testConfig is a small, fast real-I/O run.
+func testConfig(data string) cliConfig {
+	return cliConfig{
+		dataset:         "cars",
+		data:            data,
+		model:           "shufflenetlike",
+		task:            "multiclass",
+		epochs:          2,
+		batch:           16,
+		scale:           0.1,
+		seed:            3,
+		imagesPerRecord: 4,
+		scanGroups:      4,
+		shards:          1,
+	}
+}
+
+// synthDataset writes a small dataset dir matching testConfig's knobs.
+func synthDataset(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := pcr.Synthesize(dir, "cars", 0.1, 3,
+		pcr.WithImagesPerRecord(4), pcr.WithScanGroups(4)); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestTrainThroughLoaderLocalAndRemote: pcrtrain's default mode trains
+// through pcr.Loader over a local directory and over the same dataset
+// served by the prefix server, with identical logical bytes moved.
+func TestTrainThroughLoaderLocalAndRemote(t *testing.T) {
+	dir := synthDataset(t)
+
+	var localOut bytes.Buffer
+	local, err := runReal(&localOut, testConfig(dir))
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	if len(local.Epochs) != 2 {
+		t.Fatalf("local run produced %d epochs, want 2", len(local.Epochs))
+	}
+	for _, p := range local.Epochs {
+		if math.IsNaN(p.TrainLoss) || math.IsInf(p.TrainLoss, 0) {
+			t.Fatalf("epoch %d loss is %v", p.Epoch, p.TrainLoss)
+		}
+		if p.Stats.Images == 0 || p.Stats.BytesRead == 0 {
+			t.Fatalf("epoch %d moved no data: %+v", p.Epoch, p.Stats)
+		}
+	}
+	if !strings.Contains(localOut.String(), "MB moved") {
+		t.Fatalf("output missing per-epoch I/O report:\n%s", localOut.String())
+	}
+
+	srv, err := serve.New(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	var remoteOut bytes.Buffer
+	remote, err := runReal(&remoteOut, testConfig(ts.URL))
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	if remote.TotalBytes != local.TotalBytes {
+		t.Fatalf("remote run moved %d bytes, local %d", remote.TotalBytes, local.TotalBytes)
+	}
+	if remote.Epochs[0].TrainLoss != local.Epochs[0].TrainLoss {
+		t.Fatalf("remote epoch-0 loss %v differs from local %v (same seed, same data)",
+			remote.Epochs[0].TrainLoss, local.Epochs[0].TrainLoss)
+	}
+}
+
+// TestAdaptiveEpochMovesFewerBytes: with -dynamic plateau and an
+// aggressive detector, a later (adaptive) epoch moves fewer bytes than the
+// full-quality epochs of the same data.
+func TestAdaptiveEpochMovesFewerBytes(t *testing.T) {
+	dir := synthDataset(t)
+
+	fixed := testConfig(dir)
+	fixed.epochs = 1
+	fullRes, err := runReal(new(bytes.Buffer), fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := fullRes.Epochs[0].Stats.BytesRead
+
+	adaptive := testConfig(dir)
+	adaptive.epochs = 8
+	adaptive.dynamic = "plateau"
+	adRes, err := runReal(new(bytes.Buffer), adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := adRes.Epochs[len(adRes.Epochs)-1].Stats
+	if last.BytesRead >= fullBytes {
+		t.Fatalf("adaptive final epoch moved %d bytes, want < full-quality epoch's %d", last.BytesRead, fullBytes)
+	}
+	if last.MaxQuality >= fullRes.Epochs[0].Stats.MaxQuality {
+		t.Fatalf("adaptive run never cheapened: final epoch qualities [%d,%d]", last.MinQuality, last.MaxQuality)
+	}
+	// The plateau fires mid-epoch: some epoch shows mixed qualities.
+	mixed := false
+	for _, p := range adRes.Epochs {
+		if p.Stats.MinQuality != p.Stats.MaxQuality {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Fatal("no epoch cheapened in flight (all epochs single-quality)")
+	}
+}
+
+// TestSimModeStillRuns keeps the virtual-clock harness alive behind -sim.
+func TestSimModeStillRuns(t *testing.T) {
+	cfg := testConfig("")
+	cfg.sim = true
+	cfg.epochs = 2
+	var out bytes.Buffer
+	if err := run(&out, cfg); err != nil {
+		t.Fatalf("sim mode: %v", err)
+	}
+	if !strings.Contains(out.String(), "final accuracy") {
+		t.Fatalf("sim output missing accuracy report:\n%s", out.String())
+	}
+}

@@ -12,7 +12,10 @@
 // dataset served by cmd/pcrserved — an HTTP prefix server under
 // internal/serve that turns the paper's sequential prefix reads into byte
 // Range requests and its §5 delta cache upgrades into requests for only
-// the missing bytes.
+// the missing bytes. pcr.Loader is the training input pipeline over either
+// kind of dataset: sharded across workers, deterministically shuffled,
+// batch-assembled, and quality-adaptive at record granularity (the §4.5
+// knob driven by real observed losses; cmd/pcrtrain trains through it).
 //
 // The implementation lives under internal/ and the executables under cmd/;
 // the root package holds only the benchmark harness (bench_test.go): one

@@ -1,0 +1,178 @@
+// Package realtrain trains the reproduction's models over REAL I/O: batches
+// come out of a pcr.Loader streaming an on-disk (or remote) dataset, not out
+// of the iosim virtual clock. Wall-clock time, bytes moved, and stall time
+// are measured, not simulated — this is the harness behind cmd/pcrtrain's
+// default mode, producing the paper's Figure-11-style per-epoch numbers
+// from a live storage path.
+//
+// The split of roles with internal/train is deliberate: train owns the
+// virtual-clock experiments that regenerate the paper's figures under the
+// paper's hardware balance; realtrain owns the production-style loop where
+// the dataset is bytes on a disk or a prefix server and quality is a live
+// I/O knob (the PlateauPolicy adapter feeds real observed losses back into
+// the §4.5 plateau heuristic).
+package realtrain
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/train"
+	"repro/pcr"
+)
+
+// Config configures one real-I/O training run.
+type Config struct {
+	// Model selects the architecture and optimizer defaults.
+	Model nn.ModelProfile
+	// Task remaps the dataset's stored fine labels.
+	Task synth.Task
+	// Epochs is the epoch budget (must be positive).
+	Epochs int
+	// BatchSize is the SGD minibatch size (default 32).
+	BatchSize int
+	// Seed drives model init and the loader's shuffle.
+	Seed int64
+	// Policy chooses per-record read quality. Nil means FixedQuality(Full).
+	// A *pcr.PlateauPolicy additionally receives every minibatch loss
+	// through Report, closing the paper's §4.5 loop on real observations.
+	Policy pcr.QualityPolicy
+	// Shards and ShardIndex partition records across distributed workers
+	// (defaults: 1 shard, index 0).
+	Shards, ShardIndex int
+	// ShuffleWindow is the loader's shuffle buffer in records (0 = loader
+	// default).
+	ShuffleWindow int
+	// LRDropAt lists epoch fractions where the LR drops 10× (default
+	// {1/3, 2/3}, mirroring the paper's schedule).
+	LRDropAt []float64
+}
+
+// EpochResult is one epoch's measured curve point.
+type EpochResult struct {
+	Epoch int
+	// TrainLoss is the epoch's mean minibatch loss.
+	TrainLoss float64
+	// Stats are the loader's measured I/O numbers for this epoch.
+	Stats pcr.EpochStats
+}
+
+// Result is a full real-I/O training run.
+type Result struct {
+	Epochs []EpochResult
+	// FinalLoss is the last epoch's mean loss.
+	FinalLoss float64
+	// TotalBytes sums bytes read across epochs.
+	TotalBytes int64
+	// TotalWall is the measured wall-clock of all epochs.
+	TotalWall time.Duration
+}
+
+// Run trains cfg.Model through a pcr.Loader over ds. The dataset must be a
+// record-granular format; it may come from pcr.Open or pcr.OpenRemote —
+// the loop is identical either way.
+func Run(ctx context.Context, ds *pcr.Dataset, cfg Config) (*Result, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("realtrain: non-positive epochs")
+	}
+	if cfg.Task.Map == nil || cfg.Task.NumClasses < 2 {
+		return nil, fmt.Errorf("realtrain: missing task")
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	drops := cfg.LRDropAt
+	if drops == nil {
+		drops = []float64{1.0 / 3, 2.0 / 3}
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = pcr.FixedQuality(pcr.Full)
+	}
+
+	// Apply the shard config unconditionally so WithShard's validation runs
+	// even for a lone worker: `ShardIndex: 1` with Shards unset must error,
+	// not silently train the whole dataset.
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	opts := []pcr.LoaderOption{
+		pcr.WithBatchSize(batch),
+		pcr.WithLoaderSeed(cfg.Seed),
+		pcr.WithQualityPolicy(policy),
+		pcr.WithShard(cfg.ShardIndex, shards),
+	}
+	if cfg.ShuffleWindow > 0 {
+		opts = append(opts, pcr.WithShuffleWindow(cfg.ShuffleWindow))
+	}
+	loader, err := pcr.NewLoader(ds, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	model, err := cfg.Model.Build(train.FeatureLen, cfg.Task.NumClasses, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plateau, _ := policy.(*pcr.PlateauPolicy)
+
+	res := &Result{}
+	lr := cfg.Model.LR
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, frac := range drops {
+			if epoch == int(frac*float64(cfg.Epochs)) && epoch > 0 {
+				lr /= 10
+			}
+		}
+		var epochLoss float64
+		var steps int
+		for b, err := range loader.Epoch(ctx, epoch) {
+			if err != nil {
+				return nil, err
+			}
+			nb := nn.Batch{
+				X: make([][]float64, 0, len(b.Samples)),
+				Y: make([]int, 0, len(b.Samples)),
+			}
+			for _, s := range b.Samples {
+				nb.X = append(nb.X, train.Featurize(s.Image))
+				nb.Y = append(nb.Y, cfg.Task.Map(int(s.Label)))
+			}
+			grads, loss, _, err := model.Gradient(nb)
+			if err != nil {
+				return nil, err
+			}
+			model.Step(grads, lr, cfg.Model.Momentum)
+			epochLoss += loss
+			steps++
+			// Feed the adaptive policy real observations at minibatch
+			// granularity; the loader re-resolves quality at the next
+			// record boundary, so a plateau cheapens the epoch in flight.
+			if plateau != nil {
+				plateau.Report(loss)
+			}
+		}
+		if steps == 0 {
+			return nil, fmt.Errorf("realtrain: epoch %d delivered no batches", epoch)
+		}
+		stats, ok := loader.LastEpochStats()
+		if !ok {
+			return nil, fmt.Errorf("realtrain: epoch %d completed without stats", epoch)
+		}
+		pt := EpochResult{
+			Epoch:     epoch,
+			TrainLoss: epochLoss / float64(steps),
+			Stats:     stats,
+		}
+		res.Epochs = append(res.Epochs, pt)
+		res.FinalLoss = pt.TrainLoss
+		res.TotalBytes += stats.BytesRead
+		res.TotalWall += stats.Wall
+	}
+	return res, nil
+}

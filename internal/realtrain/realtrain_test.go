@@ -1,0 +1,100 @@
+package realtrain_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/realtrain"
+	"repro/internal/synth"
+	"repro/pcr"
+)
+
+func buildDataset(t *testing.T) (string, synth.Profile) {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := pcr.Synthesize(dir, "cars", 0.1, 7,
+		pcr.WithImagesPerRecord(4), pcr.WithScanGroups(3)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := synth.ProfileByName("cars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, p
+}
+
+// TestShardedWorkersCoverDataset: two shard workers together consume every
+// image exactly once per epoch, with shard byte totals summing to the
+// whole-dataset epoch.
+func TestShardedWorkersCoverDataset(t *testing.T) {
+	dir, profile := buildDataset(t)
+	cfg := realtrain.Config{
+		Model:     nn.ShuffleNetLike,
+		Task:      synth.Multiclass(profile),
+		Epochs:    1,
+		BatchSize: 8,
+		Seed:      5,
+	}
+
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	whole, err := realtrain.Run(context.Background(), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var images int
+	var bytes int64
+	for shard := 0; shard < 2; shard++ {
+		sds, err := pcr.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scfg := cfg
+		scfg.Shards, scfg.ShardIndex = 2, shard
+		res, err := realtrain.Run(context.Background(), sds, scfg)
+		sds.Close()
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		images += res.Epochs[0].Stats.Images
+		bytes += res.Epochs[0].Stats.BytesRead
+	}
+	if images != ds.NumImages() {
+		t.Fatalf("shards consumed %d images, want %d", images, ds.NumImages())
+	}
+	if bytes != whole.Epochs[0].Stats.BytesRead {
+		t.Fatalf("shard bytes sum to %d, whole-dataset epoch read %d", bytes, whole.Epochs[0].Stats.BytesRead)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	dir, profile := buildDataset(t)
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, err := realtrain.Run(context.Background(), ds, realtrain.Config{
+		Model: nn.ShuffleNetLike, Task: synth.Multiclass(profile),
+	}); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	if _, err := realtrain.Run(context.Background(), ds, realtrain.Config{
+		Model: nn.ShuffleNetLike, Epochs: 1,
+	}); err == nil {
+		t.Fatal("missing task accepted")
+	}
+	// A shard index without a shard count must fail loudly, not silently
+	// train the whole dataset on every worker.
+	if _, err := realtrain.Run(context.Background(), ds, realtrain.Config{
+		Model: nn.ShuffleNetLike, Task: synth.Multiclass(profile), Epochs: 1,
+		ShardIndex: 1,
+	}); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+}

@@ -46,6 +46,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"net/http"
@@ -220,19 +221,60 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+// handleIndex serves the record index — whole, or one worker's shard view
+// (?shard=i&nshards=n: records r with r % n == i, the same stride
+// partition pcr.Loader uses), so a distributed worker can plan its reads
+// from an index proportional to its share of the dataset.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("ETag", s.indexETag)
-	if ifNoneMatch(r, s.indexETag) {
+	shard, nshards := 0, 0
+	if q := r.URL.Query(); q.Get("shard") != "" || q.Get("nshards") != "" {
+		var err1, err2 error
+		shard, err1 = strconv.Atoi(q.Get("shard"))
+		nshards, err2 = strconv.Atoi(q.Get("nshards"))
+		if err1 != nil || err2 != nil || nshards <= 0 || shard < 0 || shard >= nshards {
+			s.fail(w, http.StatusBadRequest, "serve: bad shard %q of %q (want 0 <= shard < nshards)",
+				q.Get("shard"), q.Get("nshards"))
+			return
+		}
+	}
+	// A shard view is a pure function of the immutable index, so its
+	// validator derives from the whole-index ETag — a conditional poll is
+	// answered with 304 before any encoding work.
+	etag := s.indexETag
+	if nshards > 0 {
+		etag = fmt.Sprintf("%q", fmt.Sprintf("%s-s%d.%d", strings.Trim(s.indexETag, `"`), shard, nshards))
+	}
+	w.Header().Set("ETag", etag)
+	if ifNoneMatch(r, etag) {
 		s.notModified.Add(1)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", strconv.Itoa(len(s.indexJSON)))
+	body := s.indexJSON
+	if nshards > 0 {
+		if r.Method == http.MethodHead {
+			// Don't pay the per-request encode just to discard the body
+			// (Content-Length is optional on HEAD responses).
+			return
+		}
+		sub := core.Index{NumGroups: s.ds.NumGroups}
+		for i := shard; i < len(s.records); i += nshards {
+			sub.Records = append(sub.Records, s.records[i])
+			sub.NumImages += s.records[i].Samples
+		}
+		var err error
+		if body, err = core.EncodeIndex(&sub); err != nil {
+			w.Header().Del("ETag")
+			s.fail(w, http.StatusInternalServerError, "serve: %v", err)
+			return
+		}
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	if r.Method == http.MethodHead {
 		return
 	}
-	w.Write(s.indexJSON)
+	w.Write(body)
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
@@ -364,15 +406,27 @@ func ifNoneMatch(r *http.Request, etag string) bool {
 }
 
 // resolveRange interprets a Range header against an object of the given
-// size. It returns the byte window to serve and the HTTP status to serve it
-// with:
+// size, per RFC 9110 §14. It returns the byte window to serve and the HTTP
+// status to serve it with:
 //
 //   - no header, a malformed header, or a multi-part range → the whole
-//     object with 200 (per RFC 9110, an invalid Range header is ignored);
+//     object with 200 (an invalid Range header is ignored, and a server
+//     MAY ignore multi-part ranges);
 //   - "bytes=a-b", "bytes=a-", "bytes=-n" → the clamped window with 206;
-//   - a start at or past EOF, or an empty suffix ("bytes=-0") → 416.
+//     a last-byte-pos or suffix-length too large to represent clamps to
+//     the object (§14.1.1: recipients must handle out-of-range values);
+//   - a start at or past EOF (including a first-byte-pos that overflows
+//     int64), an empty suffix ("bytes=-0"), or any range against an empty
+//     object → 416 (no byte range is satisfiable when the selected
+//     representation is empty, and 206 could not carry a well-formed
+//     Content-Range for it).
+//
+// Whitespace around the range bounds is tolerated even though the grammar
+// does not produce it (generous-recipient leniency; OWS is only valid
+// around commas in a range set).
 func resolveRange(header string, size int64) (start, length int64, status int) {
 	full := func() (int64, int64, int) { return 0, size, http.StatusOK }
+	notSatisfiable := func() (int64, int64, int) { return 0, 0, http.StatusRequestedRangeNotSatisfiable }
 	if header == "" {
 		return full()
 	}
@@ -388,11 +442,13 @@ func resolveRange(header string, size int64) (start, length int64, status int) {
 	if first == "" {
 		// Suffix form: the final n bytes.
 		n, err := strconv.ParseInt(last, 10, 64)
-		if err != nil || n < 0 {
+		if overflowed(err) {
+			n = size // longer than the representation: entire object
+		} else if err != nil || n < 0 {
 			return full()
 		}
-		if n == 0 {
-			return 0, 0, http.StatusRequestedRangeNotSatisfiable
+		if n == 0 || size == 0 {
+			return notSatisfiable()
 		}
 		if n > size {
 			n = size
@@ -400,16 +456,21 @@ func resolveRange(header string, size int64) (start, length int64, status int) {
 		return size - n, n, http.StatusPartialContent
 	}
 	a, err := strconv.ParseInt(first, 10, 64)
+	if overflowed(err) {
+		return notSatisfiable() // a first-byte-pos past any object is past EOF
+	}
 	if err != nil || a < 0 {
 		return full()
 	}
 	if a >= size {
-		return 0, 0, http.StatusRequestedRangeNotSatisfiable
+		return notSatisfiable()
 	}
 	end := size - 1
 	if last != "" {
 		b, err := strconv.ParseInt(last, 10, 64)
-		if err != nil {
+		if overflowed(err) {
+			b = end // larger than the representation: clamp, don't ignore
+		} else if err != nil {
 			return full()
 		}
 		if b < a {
@@ -420,4 +481,11 @@ func resolveRange(header string, size int64) (start, length int64, status int) {
 		}
 	}
 	return a, end - a + 1, http.StatusPartialContent
+}
+
+// overflowed reports whether a ParseInt failure was a syntactically valid
+// number too large for int64 — which RFC 9110 treats as a value past any
+// real object, not as a malformed header.
+func overflowed(err error) bool {
+	return errors.Is(err, strconv.ErrRange)
 }

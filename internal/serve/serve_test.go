@@ -110,6 +110,64 @@ func TestIndexRoundTripAndETag(t *testing.T) {
 	}
 }
 
+// TestIndexShardView: ?shard=i&nshards=n returns the stride partition of
+// the record index — disjoint across shards, covering, with its own ETag.
+func TestIndexShardView(t *testing.T) {
+	_, _, ts := startServer(t, nil)
+	whole := fetchIndex(t, ts)
+
+	const nshards = 3
+	seen := make(map[string]int)
+	images := 0
+	var etags []string
+	for shard := 0; shard < nshards; shard++ {
+		url := fmt.Sprintf("%s/index?shard=%d&nshards=%d", ts.URL, shard, nshards)
+		resp, body := get(t, url, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard %d: %s", shard, resp.Status)
+		}
+		ix, err := core.ParseIndex(body)
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		if ix.NumGroups != whole.NumGroups {
+			t.Fatalf("shard %d reports %d groups, want %d", shard, ix.NumGroups, whole.NumGroups)
+		}
+		for _, re := range ix.Records {
+			if prev, dup := seen[re.Name]; dup {
+				t.Fatalf("record %s appears in shards %d and %d", re.Name, prev, shard)
+			}
+			seen[re.Name] = shard
+			images += re.Samples
+		}
+		etag := resp.Header.Get("ETag")
+		if etag == "" {
+			t.Fatalf("shard %d view has no ETag", shard)
+		}
+		etags = append(etags, etag)
+		resp304, _ := get(t, url, map[string]string{"If-None-Match": etag})
+		if resp304.StatusCode != http.StatusNotModified {
+			t.Fatalf("shard %d If-None-Match: %s, want 304", shard, resp304.Status)
+		}
+	}
+	if len(seen) != len(whole.Records) || images != whole.NumImages {
+		t.Fatalf("shard views cover %d records / %d images, want %d / %d",
+			len(seen), images, len(whole.Records), whole.NumImages)
+	}
+	for i := 1; i < len(etags); i++ {
+		if etags[i] == etags[0] {
+			t.Fatalf("shards %d and 0 share ETag %s", i, etags[0])
+		}
+	}
+
+	for _, bad := range []string{"shard=0", "nshards=2", "shard=2&nshards=2", "shard=-1&nshards=2", "shard=x&nshards=2", "shard=0&nshards=0"} {
+		resp, _ := get(t, ts.URL+"/index?"+bad, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("/index?%s: %s, want 400", bad, resp.Status)
+		}
+	}
+}
+
 func TestRecordRangeSemantics(t *testing.T) {
 	dir, _, ts := startServer(t, nil)
 	ix := fetchIndex(t, ts)
@@ -143,6 +201,9 @@ func TestRecordRangeSemantics(t *testing.T) {
 		{"empty spec ignored", "bytes=", http.StatusOK, full, ""},
 		{"multipart ignored", "bytes=0-1,4-5", http.StatusOK, full, ""},
 		{"non-bytes unit ignored", "items=0-4", http.StatusOK, full, ""},
+		{"whitespace tolerated", "bytes= 10 - 19 ", http.StatusPartialContent, full[10:20], fmt.Sprintf("bytes 10-19/%d", size)},
+		{"overflowing end clamps", "bytes=0-99999999999999999999999", http.StatusPartialContent, full, fmt.Sprintf("bytes 0-%d/%d", size-1, size)},
+		{"overflowing start unsatisfiable", "bytes=99999999999999999999999-", http.StatusRequestedRangeNotSatisfiable, nil, fmt.Sprintf("bytes */%d", size)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

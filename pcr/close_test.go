@@ -1,0 +1,115 @@
+package pcr_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/pcr"
+)
+
+// TestCloseDuringConcurrentScans pits many Scans against a concurrent
+// Close (run under -race in CI): every scan must either complete cleanly
+// (it beat the close) or terminate with ErrClosed at a sample boundary —
+// never panic, race, or yield a partial sample.
+func TestCloseDuringConcurrentScans(t *testing.T) {
+	dir, n := synthDir(t, pcr.WithImagesPerRecord(4))
+	ds, err := pcr.Open(dir, pcr.WithPrefetchWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const scanners = 8
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, scanners)
+	counts := make([]int, scanners)
+	for i := 0; i < scanners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-release
+			scan := ds.Scan
+			if i%2 == 0 {
+				scan = ds.ScanEncoded
+			}
+			for s, err := range scan(context.Background(), pcr.Full) {
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if len(s.JPEG) == 0 {
+					errs[i] = errors.New("yielded sample with no JPEG bytes")
+					return
+				}
+				counts[i]++
+			}
+		}(i)
+	}
+	close(release)
+	if err := ds.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, pcr.ErrClosed) {
+			t.Errorf("scanner %d: %v, want nil or ErrClosed", i, err)
+		}
+		if err == nil && counts[i] != n {
+			t.Errorf("scanner %d completed cleanly with %d samples, want %d", i, counts[i], n)
+		}
+	}
+
+	// Every operation started after Close fails with ErrClosed.
+	for _, err := range []error{
+		firstErr(ds.Scan(context.Background(), pcr.Full)),
+		firstErr(ds.ScanEncoded(context.Background(), 1)),
+	} {
+		if !errors.Is(err, pcr.ErrClosed) {
+			t.Errorf("scan after Close: %v, want ErrClosed", err)
+		}
+	}
+	if _, err := ds.SizeAtQuality(1); !errors.Is(err, pcr.ErrClosed) {
+		t.Errorf("SizeAtQuality after Close: %v, want ErrClosed", err)
+	}
+	if _, err := ds.ReadRecordEncoded(0, 1); !errors.Is(err, pcr.ErrClosed) {
+		t.Errorf("ReadRecordEncoded after Close: %v, want ErrClosed", err)
+	}
+}
+
+// firstErr drains a scan until its first error (nil if it completes).
+func firstErr(seq func(func(pcr.Sample, error) bool)) error {
+	var out error
+	seq(func(_ pcr.Sample, err error) bool {
+		out = err
+		return err == nil
+	})
+	return out
+}
+
+// TestLoaderEpochAfterClose: a loader epoch over a closed dataset
+// surfaces ErrClosed.
+func TestLoaderEpochAfterClose(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(4))
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := pcr.NewLoader(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Close()
+	for _, err := range l.Epoch(context.Background(), 0) {
+		if !errors.Is(err, pcr.ErrClosed) {
+			t.Fatalf("epoch after Close: %v, want ErrClosed", err)
+		}
+		return
+	}
+	t.Fatal("epoch after Close yielded no error")
+}

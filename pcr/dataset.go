@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"sync/atomic"
 
 	"repro/internal/cache"
 )
@@ -13,11 +14,14 @@ import (
 type CacheStats = cache.Stats
 
 // Dataset is an opened dataset in any Format. Scans are safe to run
-// concurrently; Close invalidates all of them.
+// concurrently with each other and with Close. Close invalidates the
+// dataset: any operation started after Close fails with ErrClosed, and a
+// scan in flight when Close runs observes the close at a sample boundary
+// and terminates with ErrClosed (it never yields partial or corrupt data).
 type Dataset struct {
 	r      formatReader
 	cfg    *config
-	closed bool
+	closed atomic.Bool
 }
 
 // Open opens the dataset at dir. The Format option must match the layout on
@@ -34,12 +38,13 @@ func Open(dir string, opts ...Option) (*Dataset, error) {
 	return &Dataset{r: r, cfg: cfg}, nil
 }
 
-// Close releases the dataset.
+// Close releases the dataset. It is safe to call concurrently with running
+// scans (which terminate with ErrClosed at their next sample boundary) and
+// is idempotent: only the first call releases the underlying reader.
 func (d *Dataset) Close() error {
-	if d.closed {
+	if d.closed.Swap(true) {
 		return nil
 	}
-	d.closed = true
 	return d.r.close()
 }
 
@@ -56,7 +61,7 @@ func (d *Dataset) Qualities() int { return d.r.qualities() }
 // resolveQuality maps Full to the top level and rejects levels the dataset
 // does not store.
 func (d *Dataset) resolveQuality(q int) (int, error) {
-	if d.closed {
+	if d.closed.Load() {
 		return 0, fmt.Errorf("pcr: scan: %w", ErrClosed)
 	}
 	top := d.r.qualities()
@@ -89,7 +94,24 @@ func (d *Dataset) ScanEncoded(ctx context.Context, q int) iter.Seq2[Sample, erro
 	if err != nil {
 		return errSeq(err)
 	}
-	return d.r.scanEncoded(ctx, qq)
+	return d.guardClosed(d.r.scanEncoded(ctx, qq))
+}
+
+// guardClosed makes an in-flight scan observe a concurrent Close at its next
+// sample boundary, giving local and remote datasets the same semantics (a
+// local backend would otherwise happily keep reading after Close).
+func (d *Dataset) guardClosed(seq iter.Seq2[Sample, error]) iter.Seq2[Sample, error] {
+	return func(yield func(Sample, error) bool) {
+		for s, err := range seq {
+			if err == nil && d.closed.Load() {
+				yield(Sample{}, fmt.Errorf("pcr: scan: %w", ErrClosed))
+				return
+			}
+			if !yield(s, err) {
+				return
+			}
+		}
+	}
 }
 
 // Scan streams every sample in storage order at quality q with Image
@@ -108,43 +130,31 @@ func (d *Dataset) Scan(ctx context.Context, q int) iter.Seq2[Sample, error] {
 		ictx, cancel := context.WithCancel(ctx)
 		defer cancel()
 
-		// The producer walks the encoded stream and hands each sample to a
-		// bounded decode pool; jobs preserve storage order so the consumer
-		// below yields in-order while decodes overlap.
-		type job struct {
-			s    Sample
-			err  error
-			done chan struct{}
-		}
-		jobs := make(chan *job, workers)
-		sem := make(chan struct{}, workers)
-		go func() {
-			defer close(jobs)
+		// The producer walks the encoded stream and hands each sample to
+		// the bounded decode pool; jobs preserve storage order so the
+		// consumer below yields in-order while decodes overlap.
+		jobs := decodePool(ictx, workers, func(emit func(*decodeJob) bool) {
 			for s, err := range d.r.scanEncoded(ictx, qq) {
-				j := &job{s: s, err: err, done: make(chan struct{})}
-				if err == nil {
-					select {
-					case sem <- struct{}{}:
-					case <-ictx.Done():
-						return
-					}
-					go func() {
-						defer close(j.done)
-						defer func() { <-sem }()
-						j.err = decodeJPEG(&j.s)
-					}()
-				} else {
-					close(j.done)
-				}
-				select {
-				case jobs <- j:
-				case <-ictx.Done():
+				if !emit(&decodeJob{s: s, err: err}) {
 					return
 				}
 			}
-		}()
+		})
 
-		for j := range jobs {
+		for {
+			// Receive with a ctx case so cancellation is prompt even while
+			// the producer sits inside a slow (non-cancellable) record read.
+			var j *decodeJob
+			var ok bool
+			select {
+			case j, ok = <-jobs:
+			case <-ctx.Done():
+				yield(Sample{}, ctx.Err())
+				return
+			}
+			if !ok {
+				break
+			}
 			select {
 			case <-j.done:
 			case <-ctx.Done():
@@ -155,6 +165,12 @@ func (d *Dataset) Scan(ctx context.Context, q int) iter.Seq2[Sample, error] {
 			// cancellation surfaces promptly and unambiguously.
 			if err := ctx.Err(); err != nil {
 				yield(Sample{}, err)
+				return
+			}
+			// Likewise a concurrent Close: queued decodes are discarded and
+			// the scan terminates with ErrClosed at this sample boundary.
+			if d.closed.Load() {
+				yield(Sample{}, fmt.Errorf("pcr: scan: %w", ErrClosed))
 				return
 			}
 			if j.err != nil {
@@ -177,6 +193,58 @@ func errSeq(err error) iter.Seq2[Sample, error] {
 	return func(yield func(Sample, error) bool) {
 		yield(Sample{}, err)
 	}
+}
+
+// decodeJob carries one sample through the bounded ordered decode pool
+// shared by Dataset.Scan and Loader.Epoch. The loader attaches per-record
+// read accounting to the first job of each record; Scan leaves those
+// fields zero.
+type decodeJob struct {
+	s    Sample
+	err  error
+	done chan struct{}
+	// bytes and quality describe the record read this job starts (prefix
+	// bytes fetched, resolved quality) — set only by the Loader.
+	bytes   int64
+	quality int
+}
+
+// decodePool runs produce in a goroutine and decodes the samples it emits
+// with up to workers concurrent decodes, preserving emission order. The
+// emit callback returns false when the pool is shutting down (ctx
+// cancelled); jobs emitted with err already set pass through undecoded.
+// The returned channel closes when produce returns; each received job's
+// done channel closes when its decode finishes.
+func decodePool(ctx context.Context, workers int, produce func(emit func(*decodeJob) bool)) <-chan *decodeJob {
+	jobs := make(chan *decodeJob, workers)
+	sem := make(chan struct{}, workers)
+	go func() {
+		defer close(jobs)
+		produce(func(j *decodeJob) bool {
+			j.done = make(chan struct{})
+			if j.err == nil {
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					return false
+				}
+				go func() {
+					defer close(j.done)
+					defer func() { <-sem }()
+					j.err = decodeJPEG(&j.s)
+				}()
+			} else {
+				close(j.done)
+			}
+			select {
+			case jobs <- j:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return jobs
 }
 
 // recordAccessor is the record-granular surface only the PCR format has.

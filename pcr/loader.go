@@ -1,0 +1,504 @@
+package pcr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/autotune"
+)
+
+// QualityPolicy chooses the scan-group quality for each record read by a
+// Loader. The loader consults the policy at every record boundary — PCR's
+// unit of sequential I/O — so a policy that changes its mind mid-epoch
+// (see PlateauPolicy) cheapens the epoch in flight: the next record is
+// fetched at the new quality without restarting the pipeline.
+//
+// Implementations must be safe for concurrent use: the loader's producer
+// goroutine calls RecordQuality while the training loop may be reporting
+// observations.
+type QualityPolicy interface {
+	// RecordQuality returns the quality (1..Qualities(), or Full) at which
+	// the loader should read the given record of the given epoch.
+	RecordQuality(epoch, record int) int
+}
+
+// FixedQuality is the static policy: every record of every epoch is read at
+// the same quality (use Full for the baseline).
+type FixedQuality int
+
+// RecordQuality implements QualityPolicy.
+func (q FixedQuality) RecordQuality(int, int) int { return int(q) }
+
+// PlateauPolicy adapts quality during training using the loss-plateau
+// detector of internal/autotune's PlateauController (the paper's §4.5
+// heuristic), driven by real observed losses instead of the simulator:
+// reading starts at Start (Full by default), the training loop feeds
+// observed losses in through Report, and each detected plateau steps the
+// quality down one level toward Min. Because the Loader re-resolves quality
+// at record boundaries, a plateau detected mid-epoch cheapens the rest of
+// that epoch immediately.
+type PlateauPolicy struct {
+	// Detector detects plateaus over the reported loss history. Its Window
+	// is measured in Report calls (report per epoch for epoch-granular
+	// decisions, per batch for mid-epoch ones). Nil gets a default
+	// PlateauController{Window: 5, MinImprove: 0.02}.
+	Detector *autotune.PlateauController
+	// Start is the initial quality (0 = Full).
+	Start int
+	// Min is the lowest quality the policy will descend to (default 1).
+	Min int
+
+	mu     sync.Mutex
+	inited bool
+	cur    int
+	full   int // resolved Start; 0 until first Report/RecordQuality
+	ticks  int
+	losses []float64
+}
+
+// Report feeds one observed training loss to the plateau detector; on a
+// detected plateau the policy steps down one quality level (not below Min).
+// It is safe to call concurrently with a running Loader.
+func (p *PlateauPolicy) Report(loss float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.init()
+	p.losses = append(p.losses, loss)
+	det := p.Detector
+	if det == nil {
+		det = &autotune.PlateauController{Window: 5, MinImprove: 0.02}
+		p.Detector = det
+	}
+	// The detector only reads the trailing 2×Window losses; keep the
+	// history bounded so a long run doesn't grow it one float per report.
+	w := det.Window
+	if w <= 0 {
+		w = 5
+	}
+	if keep := 2 * w; len(p.losses) > 2*keep {
+		p.losses = append(p.losses[:0], p.losses[len(p.losses)-keep:]...)
+	}
+	if det.ShouldTune(p.ticks, p.losses) {
+		min := p.Min
+		if min <= 0 {
+			min = 1
+		}
+		// Full stays symbolic until the loader resolves it against the
+		// dataset (observeQuality); until then a plateau cannot step.
+		cur := p.cur
+		if cur == Full {
+			cur = p.full
+		}
+		if cur > min {
+			p.cur = cur - 1
+		}
+	}
+	p.ticks++
+}
+
+// RecordQuality implements QualityPolicy.
+func (p *PlateauPolicy) RecordQuality(int, int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.init()
+	return p.cur
+}
+
+// Quality returns the policy's current quality (Full until the first
+// plateau).
+func (p *PlateauPolicy) Quality() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.init()
+	return p.cur
+}
+
+func (p *PlateauPolicy) init() {
+	if !p.inited {
+		p.cur = p.Start
+		p.inited = true
+	}
+}
+
+// observeQuality tells the policy what dataset-level quality its last
+// answer resolved to, so "step down from Full" is well-defined.
+func (p *PlateauPolicy) observeQuality(resolved int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if resolved > p.full {
+		p.full = resolved
+	}
+}
+
+// qualityObserver is implemented by policies that want to learn what
+// dataset-level quality their answers resolve to (PlateauPolicy uses it to
+// ground Full).
+type qualityObserver interface {
+	observeQuality(resolved int)
+}
+
+// Batch is one assembled training batch: BatchSize decoded samples (the
+// final batch of an epoch may be shorter unless WithDropRemainder is set).
+type Batch struct {
+	// Epoch is the epoch this batch belongs to.
+	Epoch int
+	// Samples have JPEG and Image filled, in the epoch's shuffled order.
+	Samples []Sample
+}
+
+// EpochStats summarizes one completed Loader epoch — the real-I/O
+// counterpart of the paper's Figure-11 quantities.
+type EpochStats struct {
+	// Epoch is the epoch the stats describe.
+	Epoch int
+	// Records, Images, and Batches count what the epoch delivered.
+	Records, Images, Batches int
+	// BytesRead is the record prefix bytes the epoch's reads covered (what
+	// a cacheless reader moves; with WithCacheBytes the cache's own
+	// counters report the delta actually fetched).
+	BytesRead int64
+	// MinQuality and MaxQuality bound the resolved qualities used; they
+	// differ when the policy changed mid-epoch.
+	MinQuality, MaxQuality int
+	// Wall is the epoch's duration, including the consumer's compute time
+	// between batches.
+	Wall time.Duration
+	// Stall is the time the consumer spent blocked waiting for the
+	// pipeline (the paper's compute-stall time).
+	Stall time.Duration
+	// ImagesPerSec is Images / Wall.
+	ImagesPerSec float64
+}
+
+// Loader is a real-I/O, multi-epoch training input pipeline over a
+// record-format Dataset (local or remote): it partitions records across
+// distributed workers (WithShard), visits each epoch's records in a
+// deterministic seeded windowed-shuffle order (WithShuffleWindow /
+// WithLoaderSeed), reads each record's prefix at the quality chosen by a
+// QualityPolicy, decodes samples with the dataset's bounded worker pool,
+// and assembles fixed-size batches with bounded buffering — the paper's
+// Appendix-A.1 loader structure running on real storage.
+type Loader struct {
+	ds      *Dataset
+	batch   int
+	shardIx int
+	shards  int
+	window  int
+	seed    int64
+	policy  QualityPolicy
+	dropRem bool
+
+	records []int // this shard's record indices in storage order
+
+	mu      sync.Mutex
+	last    EpochStats
+	hasLast bool
+}
+
+// loaderConfig collects LoaderOption results.
+type loaderConfig struct {
+	batch   int
+	shardIx int
+	shards  int
+	window  int
+	seed    int64
+	policy  QualityPolicy
+	dropRem bool
+}
+
+// LoaderOption configures NewLoader.
+type LoaderOption func(*loaderConfig) error
+
+// WithBatchSize sets the number of samples per batch (default 32).
+func WithBatchSize(n int) LoaderOption {
+	return func(c *loaderConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("pcr: batch size must be positive, got %d", n)
+		}
+		c.batch = n
+		return nil
+	}
+}
+
+// WithShard partitions records across count distributed workers; this
+// loader reads only records r with r % count == index. Shards are disjoint,
+// cover every record, and are balanced to within one record.
+func WithShard(index, count int) LoaderOption {
+	return func(c *loaderConfig) error {
+		if count <= 0 {
+			return fmt.Errorf("pcr: shard count must be positive, got %d", count)
+		}
+		if index < 0 || index >= count {
+			return fmt.Errorf("pcr: shard index %d out of range [0,%d)", index, count)
+		}
+		c.shardIx, c.shards = index, count
+		return nil
+	}
+}
+
+// WithShuffleWindow sets the windowed-shuffle buffer size in records
+// (default 16). Shuffling is at record granularity — the unit of PCR
+// sequential I/O — so larger windows trade memory-order locality for better
+// mixing; a window of 1 disables shuffling (storage order), and a window of
+// at least the shard's record count gives a full uniform shuffle.
+func WithShuffleWindow(n int) LoaderOption {
+	return func(c *loaderConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("pcr: shuffle window must be positive, got %d", n)
+		}
+		c.window = n
+		return nil
+	}
+}
+
+// WithLoaderSeed seeds the shuffle (default 1). The same seed yields the
+// same visit order for the same epoch on every run and every re-opened
+// loader; different epochs draw different orders from the same seed.
+func WithLoaderSeed(seed int64) LoaderOption {
+	return func(c *loaderConfig) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithQuality fixes the read quality for every record (sugar for
+// WithQualityPolicy(FixedQuality(q))).
+func WithQuality(q int) LoaderOption {
+	return WithQualityPolicy(FixedQuality(q))
+}
+
+// WithQualityPolicy installs the policy consulted at each record boundary
+// (default FixedQuality(Full)).
+func WithQualityPolicy(p QualityPolicy) LoaderOption {
+	return func(c *loaderConfig) error {
+		if p == nil {
+			return fmt.Errorf("pcr: nil quality policy")
+		}
+		c.policy = p
+		return nil
+	}
+}
+
+// WithDropRemainder drops an epoch's final short batch instead of yielding
+// it (fixed-shape training steps).
+func WithDropRemainder() LoaderOption {
+	return func(c *loaderConfig) error {
+		c.dropRem = true
+		return nil
+	}
+}
+
+// NewLoader builds a Loader over an opened Dataset. The dataset must be a
+// record-granular format (PCR, local or remote); baseline formats have no
+// record random access and report errors.ErrUnsupported.
+func NewLoader(ds *Dataset, opts ...LoaderOption) (*Loader, error) {
+	if _, ok := ds.r.(recordAccessor); !ok {
+		return nil, fmt.Errorf("pcr: loader on %s format: %w", ds.cfg.format.Name(), errors.ErrUnsupported)
+	}
+	cfg := &loaderConfig{batch: 32, shards: 1, window: 16, seed: 1, policy: FixedQuality(Full)}
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	l := &Loader{
+		ds:      ds,
+		batch:   cfg.batch,
+		shardIx: cfg.shardIx,
+		shards:  cfg.shards,
+		window:  cfg.window,
+		seed:    cfg.seed,
+		policy:  cfg.policy,
+		dropRem: cfg.dropRem,
+	}
+	for r := 0; r < ds.NumRecords(); r++ {
+		if r%l.shards == l.shardIx {
+			l.records = append(l.records, r)
+		}
+	}
+	if len(l.records) == 0 {
+		return nil, fmt.Errorf("pcr: shard %d/%d of a %d-record dataset is empty",
+			l.shardIx, l.shards, ds.NumRecords())
+	}
+	return l, nil
+}
+
+// NumRecords returns the record count of this loader's shard.
+func (l *Loader) NumRecords() int { return len(l.records) }
+
+// epochSeed mixes the loader seed with the epoch (splitmix64 finalizer) so
+// each epoch draws an independent but reproducible order.
+func (l *Loader) epochSeed(epoch int) int64 {
+	z := uint64(l.seed) + (uint64(epoch)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// epochOrder returns the record visit order for an epoch: the shard's
+// records streamed through a seeded windowed shuffle (the tf.data
+// shuffle-buffer structure at record granularity).
+func (l *Loader) epochOrder(epoch int) []int {
+	rng := rand.New(rand.NewSource(l.epochSeed(epoch)))
+	out := make([]int, 0, len(l.records))
+	win := make([]int, 0, l.window)
+	emit := func() {
+		k := rng.Intn(len(win))
+		out = append(out, win[k])
+		win[k] = win[len(win)-1]
+		win = win[:len(win)-1]
+	}
+	for _, r := range l.records {
+		win = append(win, r)
+		if len(win) >= l.window {
+			emit()
+		}
+	}
+	for len(win) > 0 {
+		emit()
+	}
+	return out
+}
+
+// Epoch streams epoch e's batches: records of this loader's shard in the
+// epoch's shuffled order, each read at the quality the policy chooses for
+// it, decoded concurrently by WithPrefetchWorkers goroutines, assembled
+// into WithBatchSize batches. Memory is bounded by the decode pool plus one
+// batch plus one record. Iteration stops at the first error; cancelling ctx
+// stops it promptly with ctx.Err(); closing the dataset stops it with
+// ErrClosed. After a complete epoch, LastEpochStats reports its counters.
+func (l *Loader) Epoch(ctx context.Context, epoch int) iter.Seq2[Batch, error] {
+	return func(yield func(Batch, error) bool) {
+		start := time.Now()
+		workers := l.ds.cfg.prefetchWorkers()
+		ictx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		// The producer walks the shuffled record order, resolves each
+		// record's quality, reads its prefix, and hands every sample to the
+		// shared bounded decode pool; job order preserves the shuffled
+		// order. The first job of each record carries the record's read
+		// accounting.
+		jobs := decodePool(ictx, workers, func(emit func(*decodeJob) bool) {
+			for _, rec := range l.epochOrder(epoch) {
+				q := l.policy.RecordQuality(epoch, rec)
+				qq, err := l.ds.resolveQuality(q)
+				if err == nil {
+					if obs, ok := l.policy.(qualityObserver); ok {
+						obs.observeQuality(qq)
+					}
+				}
+				var bytes int64
+				if err == nil {
+					bytes, err = l.ds.RecordPrefixLen(rec, q)
+				}
+				var samples []Sample
+				if err == nil {
+					samples, err = l.ds.ReadRecordEncoded(rec, q)
+				}
+				if err != nil {
+					emit(&decodeJob{err: err})
+					return
+				}
+				for si := range samples {
+					j := &decodeJob{s: samples[si]}
+					if si == 0 {
+						j.bytes, j.quality = bytes, qq
+					}
+					if !emit(j) {
+						return
+					}
+				}
+			}
+		})
+
+		stats := EpochStats{Epoch: epoch}
+		cur := make([]Sample, 0, l.batch)
+		flush := func() bool {
+			b := Batch{Epoch: epoch, Samples: cur}
+			cur = make([]Sample, 0, l.batch)
+			stats.Batches++
+			return yield(b, nil)
+		}
+		var stall time.Duration
+		for {
+			w := time.Now()
+			// Receive with a ctx case so cancellation is prompt even while
+			// the producer sits inside a slow (non-cancellable) record read.
+			var j *decodeJob
+			var ok bool
+			select {
+			case j, ok = <-jobs:
+			case <-ctx.Done():
+				yield(Batch{}, ctx.Err())
+				return
+			}
+			if !ok {
+				stall += time.Since(w)
+				break
+			}
+			select {
+			case <-j.done:
+			case <-ctx.Done():
+				yield(Batch{}, ctx.Err())
+				return
+			}
+			stall += time.Since(w)
+			if err := ctx.Err(); err != nil {
+				yield(Batch{}, err)
+				return
+			}
+			if j.err != nil {
+				yield(Batch{}, j.err)
+				return
+			}
+			if j.quality > 0 {
+				stats.Records++
+				stats.BytesRead += j.bytes
+				if stats.MinQuality == 0 || j.quality < stats.MinQuality {
+					stats.MinQuality = j.quality
+				}
+				if j.quality > stats.MaxQuality {
+					stats.MaxQuality = j.quality
+				}
+			}
+			stats.Images++
+			cur = append(cur, j.s)
+			if len(cur) == l.batch {
+				if !flush() {
+					return
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			yield(Batch{}, err)
+			return
+		}
+		if len(cur) > 0 && !l.dropRem {
+			if !flush() {
+				return
+			}
+		}
+		stats.Wall = time.Since(start)
+		stats.Stall = stall
+		if s := stats.Wall.Seconds(); s > 0 {
+			stats.ImagesPerSec = float64(stats.Images) / s
+		}
+		l.mu.Lock()
+		l.last, l.hasLast = stats, true
+		l.mu.Unlock()
+	}
+}
+
+// LastEpochStats returns the statistics of the most recently completed
+// epoch; ok is false until one epoch has run to completion.
+func (l *Loader) LastEpochStats() (stats EpochStats, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last, l.hasLast
+}

@@ -1,0 +1,342 @@
+package pcr_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/autotune"
+	"repro/pcr"
+)
+
+// epochIDs runs one loader epoch and returns the sample IDs in delivery
+// order plus the epoch's stats.
+func epochIDs(t *testing.T, l *pcr.Loader, epoch int) ([]int64, pcr.EpochStats) {
+	t.Helper()
+	var ids []int64
+	for b, err := range l.Epoch(context.Background(), epoch) {
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if b.Epoch != epoch {
+			t.Fatalf("batch reports epoch %d, want %d", b.Epoch, epoch)
+		}
+		for _, s := range b.Samples {
+			if s.Image == nil {
+				t.Fatalf("epoch %d: sample %d not decoded", epoch, s.ID)
+			}
+			ids = append(ids, s.ID)
+		}
+	}
+	stats, ok := l.LastEpochStats()
+	if !ok {
+		t.Fatalf("epoch %d: no stats after completed epoch", epoch)
+	}
+	return ids, stats
+}
+
+// TestLoaderDeterministicShuffle: same seed ⇒ same per-epoch order across
+// loader instances; different epochs ⇒ different orders; a different seed
+// ⇒ a different order.
+func TestLoaderDeterministicShuffle(t *testing.T) {
+	dir, n := synthDir(t, pcr.WithImagesPerRecord(1)) // 1 image/record: order is record order
+	if n < 8 {
+		t.Fatalf("dataset too small to test shuffling: %d images", n)
+	}
+	open := func(seed int64) *pcr.Loader {
+		ds, err := pcr.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ds.Close() })
+		l, err := pcr.NewLoader(ds, pcr.WithBatchSize(4), pcr.WithLoaderSeed(seed), pcr.WithShuffleWindow(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	a, b := open(7), open(7)
+	e0a, _ := epochIDs(t, a, 0)
+	e0b, _ := epochIDs(t, b, 0)
+	if !equalIDs(e0a, e0b) {
+		t.Fatal("same seed, same epoch: orders differ")
+	}
+	e1a, _ := epochIDs(t, a, 1)
+	if equalIDs(e0a, e1a) {
+		t.Fatal("epoch 0 and epoch 1 have identical orders")
+	}
+	e1b, _ := epochIDs(t, b, 1)
+	if !equalIDs(e1a, e1b) {
+		t.Fatal("same seed, same epoch (1): orders differ")
+	}
+	c := open(8)
+	e0c, _ := epochIDs(t, c, 0)
+	if equalIDs(e0a, e0c) {
+		t.Fatal("different seeds produced identical epoch-0 orders")
+	}
+	// Each epoch is a permutation of the full sample set.
+	for _, ids := range [][]int64{e0a, e1a, e0c} {
+		if len(ids) != n {
+			t.Fatalf("epoch delivered %d samples, want %d", len(ids), n)
+		}
+		seen := make(map[int64]bool, len(ids))
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("sample %d delivered twice in one epoch", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLoaderShardPartition: shards are disjoint, cover every sample, and
+// are balanced to within one record.
+func TestLoaderShardPartition(t *testing.T) {
+	dir, n := synthDir(t, pcr.WithImagesPerRecord(2))
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	const shards = 3
+	seen := make(map[int64]int)
+	var minRec, maxRec int
+	for s := 0; s < shards; s++ {
+		l, err := pcr.NewLoader(ds, pcr.WithShard(s, shards), pcr.WithBatchSize(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == 0 || l.NumRecords() < minRec {
+			minRec = l.NumRecords()
+		}
+		if l.NumRecords() > maxRec {
+			maxRec = l.NumRecords()
+		}
+		ids, _ := epochIDs(t, l, 0)
+		for _, id := range ids {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("sample %d appears in shards %d and %d", id, prev, s)
+			}
+			seen[id] = s
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("shards cover %d samples, want %d", len(seen), n)
+	}
+	if maxRec-minRec > 1 {
+		t.Fatalf("shard imbalance: record counts range %d..%d", minRec, maxRec)
+	}
+}
+
+// TestLoaderBatchAssembly checks batch sizes with and without the final
+// short batch.
+func TestLoaderBatchAssembly(t *testing.T) {
+	dir, n := synthDir(t, pcr.WithImagesPerRecord(4))
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	batch := 7
+	l, err := pcr.NewLoader(ds, pcr.WithBatchSize(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	for b, err := range l.Epoch(context.Background(), 0) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(b.Samples))
+	}
+	total := 0
+	for i, sz := range sizes {
+		total += sz
+		if i < len(sizes)-1 && sz != batch {
+			t.Fatalf("batch %d has %d samples, want %d", i, sz, batch)
+		}
+	}
+	if total != n {
+		t.Fatalf("batches deliver %d samples, want %d", total, n)
+	}
+	stats, _ := l.LastEpochStats()
+	if stats.Batches != len(sizes) || stats.Images != n {
+		t.Fatalf("stats report %d batches / %d images, want %d / %d", stats.Batches, stats.Images, len(sizes), n)
+	}
+
+	ld, err := pcr.NewLoader(ds, pcr.WithBatchSize(batch), pcr.WithDropRemainder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, err := range ld.Epoch(context.Background(), 0) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Samples) != batch {
+			t.Fatalf("drop-remainder batch has %d samples, want %d", len(b.Samples), batch)
+		}
+	}
+}
+
+// midEpochPolicy switches from Full to quality 1 after k RecordQuality
+// calls — a stand-in for a controller cheapening an epoch in flight.
+type midEpochPolicy struct {
+	mu    sync.Mutex
+	after int
+	calls int
+}
+
+func (p *midEpochPolicy) RecordQuality(epoch, record int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	if p.calls > p.after {
+		return 1
+	}
+	return pcr.Full
+}
+
+// TestLoaderAdaptiveQualityMovesFewerBytes: an epoch whose policy cheapens
+// mid-flight reads strictly fewer bytes than a full-quality epoch of the
+// same data, and the stats expose the mixed qualities.
+func TestLoaderAdaptiveQualityMovesFewerBytes(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(2), pcr.WithScanGroups(4))
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	full, err := pcr.NewLoader(ds, pcr.WithQuality(pcr.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fullStats := epochIDs(t, full, 0)
+	if fullStats.MinQuality != fullStats.MaxQuality || fullStats.MinQuality != ds.Qualities() {
+		t.Fatalf("full epoch qualities [%d,%d], want both %d", fullStats.MinQuality, fullStats.MaxQuality, ds.Qualities())
+	}
+
+	adaptive, err := pcr.NewLoader(ds, pcr.WithQualityPolicy(&midEpochPolicy{after: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, adStats := epochIDs(t, adaptive, 0)
+	if adStats.Images != fullStats.Images || len(ids) != fullStats.Images {
+		t.Fatalf("adaptive epoch delivered %d images, want %d", adStats.Images, fullStats.Images)
+	}
+	if adStats.BytesRead >= fullStats.BytesRead {
+		t.Fatalf("adaptive epoch read %d bytes, want < full epoch's %d", adStats.BytesRead, fullStats.BytesRead)
+	}
+	if adStats.MinQuality != 1 || adStats.MaxQuality != ds.Qualities() {
+		t.Fatalf("adaptive epoch qualities [%d,%d], want [1,%d]", adStats.MinQuality, adStats.MaxQuality, ds.Qualities())
+	}
+}
+
+// TestLoaderRemoteMatchesLocal runs the same loader configuration over
+// Open and OpenRemote and requires identical delivery order and byte
+// accounting.
+func TestLoaderRemoteMatchesLocal(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(4), pcr.WithScanGroups(3))
+	_, ts := startServer(t, dir, nil)
+
+	local, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	remote, err := pcr.OpenRemote(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	opts := []pcr.LoaderOption{pcr.WithBatchSize(3), pcr.WithLoaderSeed(11), pcr.WithQuality(2)}
+	ll, err := pcr.NewLoader(local, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := pcr.NewLoader(remote, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lids, lstats := epochIDs(t, ll, 0)
+	rids, rstats := epochIDs(t, rl, 0)
+	if !equalIDs(lids, rids) {
+		t.Fatal("remote loader delivery order differs from local")
+	}
+	if lstats.BytesRead != rstats.BytesRead {
+		t.Fatalf("remote loader read %d bytes, local %d", rstats.BytesRead, lstats.BytesRead)
+	}
+}
+
+// TestLoaderUnsupportedFormat: baseline formats have no record random
+// access for the loader to shuffle over.
+func TestLoaderUnsupportedFormat(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithFormat(pcr.TFRecord))
+	ds, err := pcr.Open(dir, pcr.WithFormat(pcr.TFRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, err := pcr.NewLoader(ds); !errors.Is(err, errors.ErrUnsupported) {
+		t.Fatalf("NewLoader on tfrecord: %v, want ErrUnsupported", err)
+	}
+}
+
+// TestPlateauPolicySteps: reported plateaus step the quality down one
+// level at a time, never below Min, and only once the dataset's top is
+// known.
+func TestPlateauPolicySteps(t *testing.T) {
+	p := &pcr.PlateauPolicy{
+		Detector: &autotune.PlateauController{Window: 1, MinImprove: 0.99, ProbeSteps: 1},
+		Min:      1,
+	}
+	// Before any loader has resolved Full, plateaus must not step.
+	p.Report(1.0)
+	p.Report(1.0)
+	p.Report(1.0)
+	if q := p.Quality(); q != pcr.Full {
+		t.Fatalf("policy stepped to %d before Full was resolved", q)
+	}
+
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(2), pcr.WithScanGroups(4))
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	l, err := pcr.NewLoader(ds, pcr.WithQualityPolicy(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochIDs(t, l, 0) // resolves Full against the dataset
+
+	// With Window=1 and a flat loss, every further report is a plateau:
+	// one step down per report, stopping at Min.
+	top := ds.Qualities()
+	for want := top - 1; want >= 1; want-- {
+		p.Report(1.0)
+		if q := p.Quality(); q != want {
+			t.Fatalf("after plateau, quality = %d, want %d", q, want)
+		}
+	}
+	p.Report(1.0)
+	if q := p.Quality(); q != 1 {
+		t.Fatalf("policy descended below Min: %d", q)
+	}
+}
