@@ -10,6 +10,14 @@
 // (http://host:port), so local-disk and remote-serving runs produce
 // directly comparable tables: bytes/image is the same column either way,
 // and the bandwidth column becomes wire bandwidth for remote runs.
+//
+// -loader switches the benchmark from raw record reads to the full batch
+// pipeline (pcr.Loader): each pass is one epoch of shuffled, decoded,
+// batch-assembled samples, reporting images/s, bytes/img, and the
+// consumer's stall time. With -disk-cache-dir the table doubles as a
+// cold-vs-warm comparison: epoch 0 fills the persistent cache over the
+// (possibly remote) upstream, later epochs read it back locally, and a
+// final summary prints both rows side by side.
 package main
 
 import (
@@ -32,21 +40,51 @@ func main() {
 	passes := flag.Int("passes", 3, "passes over the dataset per quality level")
 	decode := flag.Bool("decode", false, "also decode every image")
 	cacheMB := flag.Int64("cache-mb", 0, "LRU prefix cache budget in MiB (0 = no cache)")
+	loaderMode := flag.Bool("loader", false, "benchmark the batch pipeline (pcr.Loader) instead of raw record reads")
+	batch := flag.Int("batch", 32, "batch size for -loader")
+	quality := flag.Int("quality", 0, "read quality for -loader (0 = full)")
+	diskDir := flag.String("disk-cache-dir", "", "persistent prefix cache directory (enables the cold-vs-warm comparison)")
+	diskMB := flag.Int64("disk-cache-mb", 1024, "persistent prefix cache budget in MiB")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "pcrbench: -dataset is required")
 		os.Exit(2)
 	}
-	if err := run(*dir, *formatName, *workers, *passes, *decode, *cacheMB); err != nil {
+	cfg := benchConfig{
+		dir: *dir, format: *formatName, workers: *workers, passes: *passes,
+		decode: *decode, cacheMB: *cacheMB, loader: *loaderMode, batch: *batch,
+		quality: *quality, diskDir: *diskDir, diskMB: *diskMB,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pcrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, formatName string, workers, passes int, decode bool, cacheMB int64) error {
+type benchConfig struct {
+	dir, format     string
+	workers, passes int
+	decode          bool
+	cacheMB         int64
+	loader          bool
+	batch, quality  int
+	diskDir         string
+	diskMB          int64
+}
+
+func run(cfg benchConfig) error {
+	dir, formatName := cfg.dir, cfg.format
+	workers, passes, decode, cacheMB := cfg.workers, cfg.passes, cfg.decode, cfg.cacheMB
 	format, err := pcr.FormatByName(formatName)
 	if err != nil {
 		return err
+	}
+	opts := []pcr.Option{
+		pcr.WithPrefetchWorkers(workers),
+		pcr.WithCacheBytes(cacheMB << 20),
+	}
+	if cfg.diskDir != "" {
+		opts = append(opts, pcr.WithDiskCache(cfg.diskDir, cfg.diskMB<<20))
 	}
 	var ds *pcr.Dataset
 	remote := strings.HasPrefix(dir, "http://") || strings.HasPrefix(dir, "https://")
@@ -54,21 +92,17 @@ func run(dir, formatName string, workers, passes int, decode bool, cacheMB int64
 		if format != pcr.PCR {
 			return fmt.Errorf("remote serving is pcr-format only; drop -format %s", formatName)
 		}
-		ds, err = pcr.OpenRemote(dir,
-			pcr.WithPrefetchWorkers(workers),
-			pcr.WithCacheBytes(cacheMB<<20),
-		)
+		ds, err = pcr.OpenRemote(dir, opts...)
 	} else {
-		ds, err = pcr.Open(dir,
-			pcr.WithFormat(format),
-			pcr.WithPrefetchWorkers(workers),
-			pcr.WithCacheBytes(cacheMB<<20),
-		)
+		ds, err = pcr.Open(dir, append(opts, pcr.WithFormat(format))...)
 	}
 	if err != nil {
 		return err
 	}
 	defer ds.Close()
+	if cfg.loader {
+		return runLoader(ds, cfg, remote)
+	}
 	mode := fmt.Sprintf("%d parallel readers", workers)
 	if format != pcr.PCR {
 		mode = fmt.Sprintf("single reader stream, %d decode workers", workers)
@@ -135,6 +169,78 @@ func ratio(num, den float64, verb string) string {
 		return "-"
 	}
 	return fmt.Sprintf(verb, num/den)
+}
+
+// runLoader benchmarks the batch pipeline: each pass is one Loader epoch.
+// The upstream column is what actually moved past the disk cache (network
+// bytes for a remote run) — with -disk-cache-dir, epoch 0 is the cold fill
+// and later epochs are warm.
+func runLoader(ds *pcr.Dataset, cfg benchConfig, remote bool) error {
+	l, err := pcr.NewLoader(ds,
+		pcr.WithBatchSize(cfg.batch),
+		pcr.WithQuality(cfg.quality))
+	if err != nil {
+		return err
+	}
+	where := "local"
+	if remote {
+		where = "remote"
+	}
+	fmt.Printf("dataset %s (%s, %s): %d records, %d images, %d quality levels; loader batch=%d decode-workers=%d\n",
+		cfg.dir, ds.Format().Name(), where, ds.NumRecords(), ds.NumImages(), ds.Qualities(), cfg.batch, cfg.workers)
+	fmt.Printf("%8s %12s %12s %12s %12s %14s\n", "epoch", "images/s", "bytes/img", "stall", "elapsed", "upstream MB")
+
+	upstream := func() (int64, bool) {
+		if st, ok := ds.DiskCacheStats(); ok {
+			return st.BytesFetched, true
+		}
+		if st, ok := ds.CacheStats(); ok {
+			return st.BytesFetched, true
+		}
+		return 0, false
+	}
+	type row struct {
+		imgsPerSec float64
+		upstream   int64
+		tracked    bool
+	}
+	var rows []row
+	ctx := context.Background()
+	for epoch := 0; epoch < cfg.passes; epoch++ {
+		before, tracked := upstream()
+		for _, err := range l.Epoch(ctx, epoch) {
+			if err != nil {
+				return err
+			}
+		}
+		st, ok := l.LastEpochStats()
+		if !ok {
+			return fmt.Errorf("no stats after epoch %d", epoch)
+		}
+		moved := st.BytesRead
+		if tracked {
+			after, _ := upstream()
+			moved = after - before
+		}
+		fmt.Printf("%8d %12s %12s %12v %12v %14s\n",
+			epoch,
+			ratio(float64(st.Images), st.Wall.Seconds(), "%.0f"),
+			ratio(float64(st.BytesRead), float64(st.Images), "%.0f"),
+			st.Stall.Round(time.Millisecond),
+			st.Wall.Round(time.Millisecond),
+			ratio(float64(moved)/1e6, 1, "%.2f"))
+		rows = append(rows, row{imgsPerSec: st.ImagesPerSec, upstream: moved, tracked: tracked})
+	}
+	if st, ok := ds.DiskCacheStats(); ok && len(rows) >= 2 {
+		cold, warm := rows[0], rows[len(rows)-1]
+		fmt.Printf("\ndisk cache cold vs warm:\n")
+		fmt.Printf("%8s %12s %14s\n", "", "images/s", "upstream MB")
+		fmt.Printf("%8s %12.0f %14.2f\n", "cold", cold.imgsPerSec, float64(cold.upstream)/1e6)
+		fmt.Printf("%8s %12.0f %14.2f\n", "warm", warm.imgsPerSec, float64(warm.upstream)/1e6)
+		fmt.Printf("cache: %d hits, %d delta hits, %d misses, %d evictions; %d entries recovered warm\n",
+			st.Hits, st.DeltaHits, st.Misses, st.Evictions, st.Recovered)
+	}
+	return nil
 }
 
 // benchRecords drives the §A.5 structure: worker goroutines pull record

@@ -7,11 +7,16 @@
 //
 // Usage:
 //
-//	pcrserved -dataset DIR [-addr :8100] [-cache-mb 256]
+//	pcrserved -dataset DIR [-addr :8100] [-cache-mb 256] \
+//	          [-disk-cache-dir DIR [-disk-cache-mb 1024]]
 //
 // The -cache-mb budget feeds a shared LRU of hot record prefixes: repeat
 // reads of a popular record are served from memory, and a request for a
 // higher quality than was cached reads only the delta bytes from disk.
+// -disk-cache-dir mounts a second, persistent tier under the memory LRU
+// (internal/diskcache): prefixes evicted from memory are still a local
+// read away, and the tier survives restarts. The directory must belong to
+// this server process alone.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,19 +40,25 @@ func main() {
 	dir := flag.String("dataset", "", "PCR dataset directory to serve")
 	addr := flag.String("addr", ":8100", "listen address")
 	cacheMB := flag.Int64("cache-mb", 256, "hot-prefix LRU budget in MiB (0 = no cache)")
+	diskDir := flag.String("disk-cache-dir", "", "persistent prefix cache directory (empty = no disk tier)")
+	diskMB := flag.Int64("disk-cache-mb", 1024, "persistent prefix cache budget in MiB")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "pcrserved: -dataset is required")
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr, *cacheMB); err != nil {
+	if err := run(*dir, *addr, *cacheMB, *diskDir, *diskMB); err != nil {
 		fmt.Fprintln(os.Stderr, "pcrserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string, cacheMB int64) error {
-	s, err := serve.New(dir, &serve.Options{CacheBytes: cacheMB << 20})
+func run(dir, addr string, cacheMB int64, diskDir string, diskMB int64) error {
+	s, err := serve.New(dir, &serve.Options{
+		CacheBytes:     cacheMB << 20,
+		DiskCacheDir:   diskDir,
+		DiskCacheBytes: diskMB << 20,
+	})
 	if err != nil {
 		return err
 	}
@@ -72,10 +84,17 @@ func run(dir, addr string, cacheMB int64) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen before serving so the bound address is known: with -addr :0
+	// (tests, colocated workers) the log line is the only way to learn the
+	// chosen port.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("pcrserved: serving %s on %s", dir, addr)
-		errc <- srv.ListenAndServe()
+		log.Printf("pcrserved: serving %s on %s", dir, ln.Addr())
+		errc <- srv.Serve(ln)
 	}()
 	select {
 	case err := <-errc:

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/pcr"
+)
+
+// TestMultiProcessTrainingAgainstOneServer is the distributed-training e2e:
+// one pcrserved process serves a dataset; N pcrtrain worker processes train
+// against it with -shards N -shard i, each mounting its own persistent disk
+// cache directory. It asserts the server handled concurrent training load,
+// that the workers' disk caches filled, and — the warm-restart property —
+// that re-running both workers over the same cache directories moves zero
+// record bytes across the wire.
+func TestMultiProcessTrainingAgainstOneServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e (builds binaries, spawns processes)")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+
+	// Build the two binaries from the module under test.
+	for _, cmd := range []string{"pcrserved", "pcrtrain"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(tmp, cmd), "./cmd/"+cmd)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	dataDir := filepath.Join(tmp, "dataset")
+	if _, err := pcr.Synthesize(dataDir, "cars", 0.15, 1,
+		pcr.WithImagesPerRecord(8), pcr.WithScanGroups(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Start the server on an ephemeral port and learn the bound address
+	// from its log line.
+	srv := exec.Command(filepath.Join(tmp, "pcrserved"),
+		"-dataset", dataDir, "-addr", "127.0.0.1:0", "-cache-mb", "8")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		srv.Wait()
+	}()
+
+	addrRe := regexp.MustCompile(`serving .* on (127\.0\.0\.1:\d+)`)
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrc <- m[1]
+				break
+			}
+		}
+		// Keep draining so the server never blocks on a full pipe.
+		for sc.Scan() {
+		}
+	}()
+	var baseURL string
+	select {
+	case addr := <-addrc:
+		baseURL = "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatal("pcrserved did not report its address")
+	}
+
+	varz := func() map[string]any {
+		t.Helper()
+		resp, err := http.Get(baseURL + "/varz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	bytesServed := func() int64 {
+		t.Helper()
+		return int64(varz()["bytes_served"].(float64))
+	}
+
+	const shards = 2
+	runWorkers := func() []string {
+		t.Helper()
+		outs := make([]string, shards)
+		var wg sync.WaitGroup
+		errs := make(chan error, shards)
+		for i := 0; i < shards; i++ {
+			wg.Add(1)
+			go func(shard int) {
+				defer wg.Done()
+				w := exec.Command(filepath.Join(tmp, "pcrtrain"),
+					"-data", baseURL,
+					"-shards", fmt.Sprint(shards), "-shard", fmt.Sprint(shard),
+					"-epochs", "2", "-batch", "16",
+					"-disk-cache-dir", filepath.Join(tmp, fmt.Sprintf("cache-%d", shard)),
+					"-disk-cache-mb", "64")
+				out, err := w.CombinedOutput()
+				outs[shard] = string(out)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %v\n%s", shard, err, out)
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		return outs
+	}
+
+	// Cold run: both workers train concurrently, filling their caches.
+	outs := runWorkers()
+	for i, out := range outs {
+		if !strings.Contains(out, "final loss") {
+			t.Fatalf("worker %d did not finish training:\n%s", i, out)
+		}
+		if !strings.Contains(out, "disk cache:") {
+			t.Fatalf("worker %d reported no disk cache stats:\n%s", i, out)
+		}
+		// Each worker's cache directory is its own and non-empty.
+		des, err := os.ReadDir(filepath.Join(tmp, fmt.Sprintf("cache-%d", i)))
+		if err != nil || len(des) < 2 {
+			t.Fatalf("worker %d cache dir: %v entries, err %v", i, len(des), err)
+		}
+	}
+	v := varz()
+	if v["requests"].(float64) == 0 || v["range_requests"].(float64) == 0 {
+		t.Fatalf("server saw no training load: %v", v)
+	}
+	served := bytesServed()
+	if served == 0 {
+		t.Fatal("server served no record bytes during the cold run")
+	}
+
+	// Warm restart: the same workers over the same cache directories must
+	// train to completion moving zero record bytes over the wire.
+	recoveredRe := regexp.MustCompile(`(\d+) entries recovered warm`)
+	outs = runWorkers()
+	for i, out := range outs {
+		m := recoveredRe.FindStringSubmatch(out)
+		if m == nil || m[1] == "0" {
+			t.Fatalf("worker %d recovered no cache entries on restart:\n%s", i, out)
+		}
+	}
+	if moved := bytesServed() - served; moved != 0 {
+		t.Fatalf("warm restart moved %d record bytes over the wire, want 0", moved)
+	}
+
+	// Graceful shutdown.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pcrserved exited uncleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		srv.Process.Kill()
+		t.Fatal("pcrserved did not shut down on SIGTERM")
+	}
+}

@@ -51,6 +51,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "total distributed shards")
 	flag.IntVar(&cfg.shard, "shard", 0, "this worker's shard index")
 	flag.Int64Var(&cfg.cacheMB, "cache-mb", 0, "LRU prefix cache budget in MiB (0 = no cache)")
+	flag.StringVar(&cfg.diskCacheDir, "disk-cache-dir", "", "persistent prefix cache directory, one per worker (empty = no disk tier)")
+	flag.Int64Var(&cfg.diskCacheMB, "disk-cache-mb", 512, "persistent prefix cache budget in MiB")
 	flag.BoolVar(&cfg.sim, "sim", false, "use the virtual-clock harness (paper-figure mode) instead of real I/O")
 	flag.Parse()
 	if err := run(os.Stdout, cfg); err != nil {
@@ -66,6 +68,8 @@ type cliConfig struct {
 	shards, shard                       int
 	mix, scale                          float64
 	seed, cacheMB                       int64
+	diskCacheDir                        string
+	diskCacheMB                         int64
 	sim                                 bool
 }
 
@@ -113,11 +117,24 @@ func runReal(w io.Writer, cfg cliConfig) (*realtrain.Result, error) {
 		fmt.Fprintf(w, "synthesized %s ×%g: %d images → %s\n", cfg.dataset, cfg.scale, n, dir)
 		data = dir
 	}
+	openOpts := []pcr.Option{pcr.WithCacheBytes(cfg.cacheMB << 20)}
+	if cfg.diskCacheDir != "" {
+		openOpts = append(openOpts, pcr.WithDiskCache(cfg.diskCacheDir, cfg.diskCacheMB<<20))
+	}
+	// A remote sharded worker downloads only its stride partition of the
+	// index (GET /index?shard=i&nshards=n); the dataset it sees IS its
+	// shard, so the loader below runs unsharded. Local workers shard at
+	// the loader instead.
+	loaderShards, loaderShard := cfg.shards, cfg.shard
+	if remote && cfg.shards > 1 {
+		openOpts = append(openOpts, pcr.WithIndexShard(cfg.shard, cfg.shards))
+		loaderShards, loaderShard = 1, 0
+	}
 	var ds *pcr.Dataset
 	if remote {
-		ds, err = pcr.OpenRemote(data, pcr.WithCacheBytes(cfg.cacheMB<<20))
+		ds, err = pcr.OpenRemote(data, openOpts...)
 	} else {
-		ds, err = pcr.Open(data, pcr.WithCacheBytes(cfg.cacheMB<<20))
+		ds, err = pcr.Open(data, openOpts...)
 	}
 	if err != nil {
 		return nil, err
@@ -154,8 +171,8 @@ func runReal(w io.Writer, cfg cliConfig) (*realtrain.Result, error) {
 		BatchSize:  cfg.batch,
 		Seed:       cfg.seed,
 		Policy:     policy,
-		Shards:     cfg.shards,
-		ShardIndex: cfg.shard,
+		Shards:     loaderShards,
+		ShardIndex: loaderShard,
 	})
 	if err != nil {
 		return nil, err
@@ -174,6 +191,10 @@ func runReal(w io.Writer, cfg cliConfig) (*realtrain.Result, error) {
 	}
 	fmt.Fprintf(w, "\nfinal loss %.4f; %.2f MB moved in %v\n",
 		res.FinalLoss, float64(res.TotalBytes)/1e6, res.TotalWall.Round(time.Millisecond))
+	if st, ok := ds.DiskCacheStats(); ok {
+		fmt.Fprintf(w, "disk cache: %d hits, %d delta hits, %d misses; %.2f MB fetched upstream (%.2f MB delta); %d entries recovered warm\n",
+			st.Hits, st.DeltaHits, st.Misses, float64(st.BytesFetched)/1e6, float64(st.DeltaBytes)/1e6, st.Recovered)
+	}
 	return res, nil
 }
 

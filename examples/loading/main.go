@@ -8,6 +8,11 @@
 // the paper's §4.5 dynamic fidelity knob running over real files. Each
 // epoch reports the measured bytes moved, images/s, and stall time
 // (Appendix A.1's queueing quantities, measured instead of simulated).
+//
+// The final section is the warm restart: a worker with a persistent disk
+// cache (WithDiskCache) and a loader checkpoint "crashes" mid-epoch; its
+// replacement resumes at the same shuffled position (WithResume) and reads
+// everything from the recovered cache — zero bytes from the dataset.
 package main
 
 import (
@@ -113,5 +118,75 @@ func run() error {
 	}
 	fmt.Println("\nsame records, same labels — later epochs moved fewer bytes because")
 	fmt.Println("quality is an I/O knob, re-resolved at every record boundary.")
+
+	// Warm restart: the first life trains with a persistent disk cache and
+	// checkpoints after every batch; we stop it mid-epoch, as a crash
+	// would. The second life mounts the same cache directory, resumes from
+	// the checkpoint, and finishes the epoch — the position comes from the
+	// checkpoint, the bytes come from the recovered cache.
+	fmt.Println("\n-- warm restart: disk cache + checkpoint resume --")
+	cacheDir, err := os.MkdirTemp("", "pcr-loading-cache")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	ds1, err := pcr.Open(dir, pcr.WithDiskCache(cacheDir, 256<<20))
+	if err != nil {
+		return err
+	}
+	l1, err := pcr.NewLoader(ds1, pcr.WithBatchSize(16), pcr.WithLoaderSeed(7))
+	if err != nil {
+		ds1.Close()
+		return err
+	}
+	// Epoch 0 runs to completion, filling the cache with every record.
+	for _, err := range l1.Epoch(context.Background(), 0) {
+		if err != nil {
+			ds1.Close()
+			return err
+		}
+	}
+	// Epoch 1 "crashes" two batches in.
+	var cp pcr.Checkpoint
+	batches := 0
+	for _, err := range l1.Epoch(context.Background(), 1) {
+		if err != nil {
+			ds1.Close()
+			return err
+		}
+		cp, _ = l1.Checkpoint() // a real job persists this with its weights
+		if batches++; batches == 2 {
+			break
+		}
+	}
+	st1, _ := ds1.DiskCacheStats()
+	ds1.Close() // the cache directory survives the "crash"
+	fmt.Printf("first life:  epoch 0 done, crash %d batches into epoch 1; cache holds %.2f MB, checkpoint (epoch %d, batch %d)\n",
+		batches, float64(st1.BytesFetched)/1e6, cp.Epoch, cp.Batch)
+
+	ds2, err := pcr.Open(dir, pcr.WithDiskCache(cacheDir, 256<<20))
+	if err != nil {
+		return err
+	}
+	defer ds2.Close()
+	l2, err := pcr.NewLoader(ds2, pcr.WithResume(cp))
+	if err != nil {
+		return err
+	}
+	rest := 0
+	for _, err := range l2.Epoch(context.Background(), cp.Epoch) {
+		if err != nil {
+			return err
+		}
+		rest++
+	}
+	st2, _ := ds2.DiskCacheStats()
+	fmt.Printf("second life: resumed at batch %d, finished %d more batches;\n", cp.Batch, rest)
+	fmt.Printf("             %d cache entries recovered, %.2f MB refetched from the dataset\n",
+		st2.Recovered, float64(st2.BytesFetched)/1e6)
+	fmt.Println("\nthe restarted worker re-entered mid-epoch at the same shuffled position")
+	fmt.Println("and its reads were served from the persistent cache — with OpenRemote,")
+	fmt.Println("that is a second epoch of training at near-zero network cost.")
 	return nil
 }

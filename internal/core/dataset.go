@@ -263,6 +263,17 @@ func (ds *Dataset) Close() error {
 	return err
 }
 
+// Backend returns the storage backend record bytes are read through.
+func (ds *Dataset) Backend() Backend { return ds.backend }
+
+// SetBackend replaces the dataset's storage backend — the decoration point
+// for layered backends like the persistent prefix cache
+// (internal/diskcache), which wrap the original backend and must be
+// installed before reads begin. The dataset owns the new backend and closes
+// it with Close; the previous backend is the caller's to close (a decorator
+// that wraps it typically adopts that responsibility).
+func (ds *Dataset) SetBackend(b Backend) { ds.backend = b }
+
 // NumRecords returns the record count.
 func (ds *Dataset) NumRecords() int { return ds.numRec }
 

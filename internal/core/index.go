@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 )
@@ -63,6 +65,20 @@ func ParseIndex(data []byte) (*Index, error) {
 		}
 	}
 	return &ix, nil
+}
+
+// IndexFingerprint returns a stable content fingerprint of the index — the
+// dataset's generation for cache-coherence purposes (its ETag role).
+// Datasets are immutable once written, so two readers that fingerprint the
+// same index are reading the same bytes, and a persistent cache keyed by
+// the fingerprint can never serve bytes from a different dataset build.
+func IndexFingerprint(ix *Index) (string, error) {
+	data, err := EncodeIndex(ix)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16]), nil
 }
 
 // Index returns the dataset's record index. The Index and its Records

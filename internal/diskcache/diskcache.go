@@ -1,0 +1,788 @@
+// Package diskcache is the persistent tier of the paper's §5 cache
+// hierarchy: a crash-safe, delta-aware prefix cache on local disk, layered
+// as a core.Backend decorator so it composes under every format and over
+// both local directories and the remote prefix server.
+//
+// The paper's economy is that a record read at quality q is a strict byte
+// prefix of the same record at quality q+1, so a fidelity upgrade is priced
+// at the delta bytes only. The in-memory LRU (internal/cache) realizes that
+// economy inside one process; this package extends it across process
+// restarts, epochs, and co-located workers on disaggregated storage: a
+// restarted training worker's second epoch reads from warm local files
+// instead of the network.
+//
+// # Layout
+//
+// A cache directory holds one append-only prefix file per cached object
+// (obj-<sha256(name)>.p — always bytes [0,extent) of the upstream object)
+// plus a manifest journal (manifest.log) of newline-delimited JSON entries:
+//
+//	{"gen":"<generation>","v":1}        header: dataset generation
+//	{"put":"<name>","len":N,"crc":C}    extent N is valid, crc32(IEEE) C
+//	{"del":"<name>"}                    entry evicted
+//
+// Growing a cached prefix appends only the new bytes to the data file
+// (never rewriting the cached prefix), syncs it, then journals the new
+// extent. The CRC is maintained incrementally, so journaling an upgrade
+// does not re-read the prefix.
+//
+// # Crash safety
+//
+// Writes are ordered data-file-first: on reopen, a journal line whose bytes
+// all made it to disk describes data that also made it to disk. Recovery
+// reads the journal up to the first torn or unparsable line (truncating the
+// tail), then verifies every surviving entry against its data file — size
+// and CRC over the journaled extent — discarding any entry whose file is
+// torn. Data beyond the journaled extent (a crash after a data append but
+// before its journal line) is truncated away to restore the append
+// invariant. The manifest is then compacted by atomic rename, so every open
+// starts from a clean, verified state and no corrupt bytes are ever served.
+//
+// # Coherence
+//
+// The cache is keyed by a caller-supplied generation string — in the pcr
+// facade, a fingerprint of the dataset's record index (its ETag role). A
+// generation mismatch on open purges the directory: entries never outlive
+// the dataset build they were fetched from.
+//
+// A cache directory belongs to exactly one process at a time (each training
+// worker mounts its own directory); Open takes an advisory lock and fails
+// fast on a second opener where the platform supports it.
+package diskcache
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Stats counts cache activity. Recovery counters describe the most recent
+// Open; the rest accumulate over the Backend's lifetime.
+type Stats struct {
+	// Hits are ReadRange calls served entirely from the cached prefix.
+	Hits int64 `json:"hits"`
+	// DeltaHits are calls served by extending a cached prefix: only the
+	// missing suffix moved from upstream (the §5 delta-pricing property).
+	DeltaHits int64 `json:"delta_hits"`
+	// Misses are calls with no cached prefix to build on.
+	Misses int64 `json:"misses"`
+	// BytesServed counts bytes returned to callers.
+	BytesServed int64 `json:"bytes_served"`
+	// BytesFetched counts bytes read from the upstream Backend.
+	BytesFetched int64 `json:"bytes_fetched"`
+	// DeltaBytes is the subset of BytesFetched that extended an existing
+	// prefix (upgrade traffic, as opposed to cold misses).
+	DeltaBytes int64 `json:"delta_bytes"`
+	// Evictions counts entries evicted to hold the byte budget.
+	Evictions int64 `json:"evictions"`
+	// Recovered and Discarded count manifest entries accepted / rejected by
+	// the verification scan of the most recent Open.
+	Recovered int64 `json:"recovered"`
+	// Discarded counts entries dropped at Open: torn data files, CRC
+	// mismatches, or a truncated journal tail.
+	Discarded int64 `json:"discarded"`
+}
+
+type entry struct {
+	name   string
+	length int64  // validated prefix extent on disk
+	crc    uint32 // crc32(IEEE) of the first length bytes
+	elem   *list.Element
+}
+
+// Backend is a persistent prefix cache over an inner core.Backend. ReadRange
+// serves byte windows out of append-only local prefix files, fetching only
+// missing suffix bytes from the inner backend; Open and List delegate.
+// All methods are safe for concurrent use.
+type Backend struct {
+	inner core.Backend
+	dir   string
+	cap   int64
+	gen   string
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      *list.List // front = most recent; values are object names
+	used     int64
+	manifest *os.File
+	lines    int // journal lines since last compaction
+	stats    Stats
+	closed   bool
+	lock     *dirLock
+	// fetching serializes upstream fetches per object so N concurrent
+	// readers of the same prefix cost one upstream fetch (singleflight).
+	// Entries are never removed; the map is bounded by the object count.
+	fetching map[string]*sync.Mutex
+}
+
+const manifestName = "manifest.log"
+
+type journalLine struct {
+	Gen *string `json:"gen,omitempty"`
+	V   int     `json:"v,omitempty"`
+	Put string  `json:"put,omitempty"`
+	Len int64   `json:"len,omitempty"`
+	CRC uint32  `json:"crc,omitempty"`
+	Del string  `json:"del,omitempty"`
+}
+
+// Wrap opens (or creates) the persistent cache at dir over the inner
+// backend, with the given byte capacity and dataset generation. Entries
+// journaled by a previous process are verified and reused when the
+// generation matches; a mismatch purges the directory. The returned Backend
+// owns inner and closes it with Close.
+func Wrap(inner core.Backend, dir string, capacity int64, generation string) (*Backend, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("diskcache: nil inner backend")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("diskcache: non-positive capacity %d", capacity)
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("diskcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		inner:    inner,
+		dir:      dir,
+		cap:      capacity,
+		gen:      generation,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+		lock:     lock,
+		fetching: make(map[string]*sync.Mutex),
+	}
+	if err := b.recover(); err != nil {
+		lock.unlock()
+		return nil, err
+	}
+	return b, nil
+}
+
+// objectFile maps an object name to its prefix file path. Names are hashed:
+// they may contain separators, and the manifest is the authoritative
+// name→extent map anyway.
+func (b *Backend) objectFile(name string) string {
+	sum := sha256.Sum256([]byte(name))
+	return filepath.Join(b.dir, "obj-"+hex.EncodeToString(sum[:16])+".p")
+}
+
+// recover replays the manifest journal, verifies surviving entries against
+// their data files, purges on generation mismatch, and compacts the journal
+// so the directory starts clean.
+func (b *Backend) recover() error {
+	raw, err := os.ReadFile(filepath.Join(b.dir, manifestName))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("diskcache: reading manifest: %w", err)
+	}
+
+	// Replay: stop at the first torn line (a crash mid-append); later lines
+	// cannot be trusted to describe synced data.
+	type state struct {
+		length int64
+		crc    uint32
+	}
+	journaled := make(map[string]state)
+	order := []string{} // first-journaled order, for LRU seeding
+	genOK := len(raw) == 0
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		var l journalLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			b.stats.Discarded++ // torn or corrupt tail
+			break
+		}
+		if first {
+			first = false
+			if l.Gen == nil || *l.Gen != b.gen {
+				genOK = false
+				break
+			}
+			genOK = true
+			continue
+		}
+		switch {
+		case l.Put != "":
+			if l.Len < 0 {
+				continue
+			}
+			if _, seen := journaled[l.Put]; !seen {
+				order = append(order, l.Put)
+			}
+			journaled[l.Put] = state{length: l.Len, crc: l.CRC}
+		case l.Del != "":
+			delete(journaled, l.Del)
+		}
+	}
+	// A trailing partial line has no newline; Scanner still yields it and the
+	// json.Unmarshal above rejects it. A final line that parses but whose
+	// newline is missing is complete enough to trust (its bytes are on disk).
+
+	if !genOK {
+		// Different dataset build (or pre-generation directory): purge.
+		if err := b.purgeDir(); err != nil {
+			return err
+		}
+		journaled, order = nil, nil
+	}
+
+	// Verify each journaled entry against its data file.
+	for _, name := range order {
+		st, ok := journaled[name]
+		if !ok {
+			continue // deleted later in the journal
+		}
+		path := b.objectFile(name)
+		length, crc, err := verifyPrefix(path, st.length, st.crc)
+		if err != nil || length != st.length || crc != st.crc {
+			// Torn or corrupt: discard the whole entry. Serving a shorter
+			// prefix than journaled would be safe, but the journal is the
+			// only statement of what bytes are valid — without a matching
+			// CRC nothing on disk is trustworthy.
+			os.Remove(path)
+			b.stats.Discarded++
+			continue
+		}
+		e := &entry{name: name, length: st.length, crc: st.crc}
+		e.elem = b.lru.PushFront(name)
+		b.entries[name] = e
+		b.used += st.length
+		b.stats.Recovered++
+	}
+
+	// Drop data files the (possibly truncated) journal no longer accounts
+	// for, and trim any trailing bytes past each entry's journaled extent so
+	// O_APPEND writes land at the right offset.
+	if err := b.sweepDir(); err != nil {
+		return err
+	}
+
+	// Compact: rewrite the manifest to exactly the live entries, atomically.
+	if err := b.compactLocked(); err != nil {
+		return err
+	}
+	// Enforce the budget against whatever survived (capacity may have
+	// shrunk since the last run).
+	b.evictLocked("")
+	return nil
+}
+
+// verifyPrefix checks that path holds at least length bytes whose CRC over
+// [0,length) matches, truncating trailing bytes beyond length.
+func verifyPrefix(path string, length int64, want uint32) (int64, uint32, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	if fi.Size() < length {
+		return fi.Size(), 0, nil // torn: file shorter than journaled extent
+	}
+	h := crc32.NewIEEE()
+	if _, err := io.CopyN(h, f, length); err != nil {
+		return 0, 0, err
+	}
+	if h.Sum32() != want {
+		return length, h.Sum32(), nil
+	}
+	if fi.Size() > length {
+		// A data append that crashed before its journal line: trim it so
+		// future appends extend the verified prefix.
+		if err := f.Truncate(length); err != nil {
+			return 0, 0, err
+		}
+	}
+	return length, want, nil
+}
+
+// purgeDir removes every cache artifact in the directory (generation
+// mismatch). The lock file survives.
+func (b *Backend) purgeDir() error {
+	des, err := os.ReadDir(b.dir)
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	for _, de := range des {
+		n := de.Name()
+		if n == manifestName || (strings.HasPrefix(n, "obj-") && strings.HasSuffix(n, ".p")) {
+			if err := os.Remove(filepath.Join(b.dir, n)); err != nil {
+				return fmt.Errorf("diskcache: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// sweepDir removes object files no live entry accounts for.
+func (b *Backend) sweepDir() error {
+	live := make(map[string]bool, len(b.entries))
+	for name := range b.entries {
+		live[filepath.Base(b.objectFile(name))] = true
+	}
+	des, err := os.ReadDir(b.dir)
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	for _, de := range des {
+		n := de.Name()
+		if strings.HasPrefix(n, "obj-") && strings.HasSuffix(n, ".p") && !live[n] {
+			if err := os.Remove(filepath.Join(b.dir, n)); err != nil {
+				return fmt.Errorf("diskcache: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// compactLocked atomically rewrites the manifest to the live entries and
+// (re)opens the append handle. Caller holds b.mu or is in single-threaded
+// setup.
+func (b *Backend) compactLocked() error {
+	if b.manifest != nil {
+		b.manifest.Close()
+		b.manifest = nil
+	}
+	tmp := filepath.Join(b.dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	gen := b.gen
+	lines := 1
+	writeLine := func(l journalLine) {
+		data, _ := json.Marshal(l)
+		w.Write(data)
+		w.WriteByte('\n')
+	}
+	writeLine(journalLine{Gen: &gen, V: 1})
+	// Journal back-to-front so recovery's first-journaled order matches LRU
+	// order, oldest first.
+	for el := b.lru.Back(); el != nil; el = el.Prev() {
+		e := b.entries[el.Value.(string)]
+		writeLine(journalLine{Put: e.name, Len: e.length, CRC: e.crc})
+		lines++
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(b.dir, manifestName)); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	m, err := os.OpenFile(filepath.Join(b.dir, manifestName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	b.manifest = m
+	b.lines = lines
+	return nil
+}
+
+// journalLocked appends one line to the manifest. Caller holds b.mu.
+// The append is deliberately not fsynced: the data file is synced BEFORE
+// its journal line is written, so a journal line on disk always describes
+// durable data regardless of when the line itself reaches the platter — a
+// crash can only lose recent lines, costing cache warmth (recovery trims
+// the un-journaled data tails), never correctness. Compaction (which does
+// sync) triggers when the journal has grown well past the live entry
+// count.
+func (b *Backend) journalLocked(l journalLine) error {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := b.manifest.Write(data); err != nil {
+		return fmt.Errorf("diskcache: journaling: %w", err)
+	}
+	b.lines++
+	if b.lines > 64 && b.lines > 4*(len(b.entries)+1) {
+		return b.compactLocked()
+	}
+	return nil
+}
+
+// objectLock returns the per-object fetch mutex, creating it on first use.
+func (b *Backend) objectLock(name string) *sync.Mutex {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.fetching[name]
+	if !ok {
+		m = &sync.Mutex{}
+		b.fetching[name] = m
+	}
+	return m
+}
+
+// readWindow reads [offset, offset+length) from the object's prefix file.
+func (b *Backend) readWindow(name string, offset, length int64) ([]byte, error) {
+	f, err := os.Open(b.objectFile(name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadRange reads [offset, offset+length) of the named object, fetching
+// from the inner backend only the bytes past the cached prefix extent —
+// offset zero on a cold miss, the cached length on an upgrade, nothing at
+// all on a warm restart. The returned slice is freshly allocated.
+func (b *Backend) ReadRange(name string, offset, length int64) ([]byte, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("diskcache: negative range length %d for %s", length, name)
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("diskcache: negative range offset %d for %s", offset, name)
+	}
+	if length == 0 {
+		return nil, nil
+	}
+	need := offset + length
+
+	// Fast path: the window is inside the cached prefix. Stats are counted
+	// only after the file read succeeds, so a fallback to the miss path
+	// below is not double-counted.
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("diskcache: closed")
+	}
+	if e, ok := b.entries[name]; ok && e.length >= need {
+		b.lru.MoveToFront(e.elem)
+		b.mu.Unlock()
+		buf, err := b.readWindow(name, offset, length)
+		b.mu.Lock()
+		if err == nil {
+			b.stats.Hits++
+			b.stats.BytesServed += length
+			b.mu.Unlock()
+			return buf, nil
+		}
+		// The prefix file vanished or shrank underfoot (external damage).
+		// Drop the entry and take the miss path rather than failing the read.
+		b.invalidateLocked(name)
+	}
+	b.mu.Unlock()
+
+	// Slow path: an upstream fetch may be needed. The per-object lock
+	// coalesces concurrent misses for the same object into one fetch.
+	ol := b.objectLock(name)
+	ol.Lock()
+	defer ol.Unlock()
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("diskcache: closed")
+	}
+	var have int64
+	var haveCRC uint32
+	if e, ok := b.entries[name]; ok {
+		if e.length >= need {
+			// A waiter: the fetch we queued behind already covered us.
+			b.lru.MoveToFront(e.elem)
+			b.mu.Unlock()
+			buf, err := b.readWindow(name, offset, length)
+			b.mu.Lock()
+			if err == nil {
+				b.stats.Hits++
+				b.stats.BytesServed += length
+				b.mu.Unlock()
+				return buf, nil
+			}
+			// Evicted (or damaged) between the queue and the read: fall
+			// through to a cold fetch rather than failing the request.
+			b.invalidateLocked(name)
+		} else {
+			have, haveCRC = e.length, e.crc
+		}
+	}
+	b.mu.Unlock()
+
+	// Fetch the missing suffix without any lock but the object's own, so
+	// fetches for different objects overlap.
+	delta, err := b.inner.ReadRange(name, have, need-have)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(delta)) != need-have {
+		return nil, fmt.Errorf("diskcache: upstream returned %d bytes of %s, want %d", len(delta), name, need-have)
+	}
+
+	// Persist: append data, sync, then journal the new extent. Growth of
+	// this object is serialized by the object lock we hold.
+	path := b.objectFile(name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	if _, err := f.Write(delta); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskcache: writing %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskcache: syncing %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	newCRC := crc32.Update(haveCRC, crc32.IEEETable, delta)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		// The append above was never journaled; trim it so the file again
+		// matches its last journaled extent.
+		os.Truncate(path, have)
+		return nil, fmt.Errorf("diskcache: closed")
+	}
+	e, ok := b.entries[name]
+	if !ok {
+		// Either a cold miss, or the base prefix was evicted while we
+		// fetched. The object lock serialized growth, so if have > 0 the
+		// data file was deleted by eviction and our append recreated it
+		// holding only the delta — unusable as a prefix; restart cold.
+		if have > 0 {
+			os.Remove(path)
+			b.mu.Unlock()
+			data, err := b.refetchCold(name, need)
+			b.mu.Lock()
+			// The discarded delta moved from upstream too; count all of it.
+			b.stats.BytesFetched += need - have
+			if err != nil {
+				return nil, err
+			}
+			b.stats.Misses++
+			b.stats.BytesFetched += need
+			b.installLocked(name, need, crc32.ChecksumIEEE(data))
+			b.stats.BytesServed += length
+			out := make([]byte, length)
+			copy(out, data[offset:need])
+			b.evictLocked(name)
+			return out, nil
+		}
+		if err := b.journalLocked(journalLine{Put: name, Len: need, CRC: newCRC}); err != nil {
+			// Un-journaled data must not linger: a later append would land
+			// past it and corrupt the prefix.
+			os.Remove(path)
+			return nil, err
+		}
+		b.stats.Misses++
+		b.stats.BytesFetched += int64(len(delta))
+		b.installLocked(name, need, newCRC)
+	} else {
+		if err := b.journalLocked(journalLine{Put: name, Len: need, CRC: newCRC}); err != nil {
+			os.Truncate(path, have)
+			return nil, err
+		}
+		b.stats.DeltaHits++
+		b.stats.BytesFetched += int64(len(delta))
+		b.stats.DeltaBytes += int64(len(delta))
+		e.length, e.crc = need, newCRC
+		b.used += int64(len(delta))
+		b.lru.MoveToFront(e.elem)
+	}
+	b.stats.BytesServed += length
+
+	// Serve from the delta when it covers the window; otherwise read the
+	// file (the window begins inside the previously cached prefix).
+	var out []byte
+	if offset >= have {
+		out = make([]byte, length)
+		copy(out, delta[offset-have:])
+	} else {
+		b.mu.Unlock()
+		buf, rerr := b.readWindow(name, offset, length)
+		if rerr != nil {
+			// The just-grown file was evicted underfoot by a concurrent
+			// request's eviction pass. Serve this request straight from
+			// upstream; the entry state fixes itself on the next miss.
+			buf, rerr = b.inner.ReadRange(name, offset, length)
+		}
+		b.mu.Lock()
+		if rerr != nil {
+			return nil, fmt.Errorf("diskcache: reading back %s: %w", name, rerr)
+		}
+		out = buf
+	}
+	b.evictLocked(name)
+	return out, nil
+}
+
+// refetchCold re-fetches an object's whole prefix [0, need) from upstream
+// and writes a fresh data file. Caller holds the object lock but NOT b.mu.
+func (b *Backend) refetchCold(name string, need int64) ([]byte, error) {
+	data, err := b.inner.ReadRange(name, 0, need)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != need {
+		return nil, fmt.Errorf("diskcache: upstream returned %d bytes of %s, want %d", len(data), name, need)
+	}
+	path := b.objectFile(name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskcache: writing %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskcache: syncing %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	b.mu.Lock()
+	err = b.journalLocked(journalLine{Put: name, Len: need, CRC: crc32.ChecksumIEEE(data)})
+	b.mu.Unlock()
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return data, nil
+}
+
+// installLocked records a fresh entry. Caller holds b.mu.
+func (b *Backend) installLocked(name string, length int64, crc uint32) {
+	e := &entry{name: name, length: length, crc: crc}
+	e.elem = b.lru.PushFront(name)
+	b.entries[name] = e
+	b.used += length
+}
+
+// invalidateLocked drops one entry without journaling (used when the data
+// file is found damaged underfoot; the next compaction forgets it).
+func (b *Backend) invalidateLocked(name string) {
+	if e, ok := b.entries[name]; ok {
+		b.used -= e.length
+		delete(b.entries, name)
+		b.lru.Remove(e.elem)
+		os.Remove(b.objectFile(name))
+	}
+}
+
+// evictLocked drops least-recently-used entries (whole objects: partial
+// prefixes are never trimmed) until the budget holds, never evicting the
+// protected object. Caller holds b.mu.
+func (b *Backend) evictLocked(protect string) {
+	for b.used > b.cap && b.lru.Len() > 1 {
+		back := b.lru.Back()
+		name := back.Value.(string)
+		if name == protect {
+			return // sole entry over budget: keep it
+		}
+		e := b.entries[name]
+		b.used -= e.length
+		delete(b.entries, name)
+		b.lru.Remove(back)
+		os.Remove(b.objectFile(name))
+		b.stats.Evictions++
+		// Journal the eviction; a failure here only costs journal accuracy
+		// for an entry whose file is already gone — recovery's verification
+		// scan discards it.
+		b.journalLocked(journalLine{Del: name})
+	}
+}
+
+// Open streams the whole named object from the inner backend. Whole-object
+// streams bypass the cache (the prefix economy lives on ReadRange, which is
+// the only path PCR record reads use).
+func (b *Backend) Open(name string) (io.ReadCloser, error) { return b.inner.Open(name) }
+
+// List delegates to the inner backend.
+func (b *Backend) List() ([]string, error) { return b.inner.List() }
+
+// Contains reports whether the cache holds at least prefixLen bytes of the
+// named object (without touching recency).
+func (b *Backend) Contains(name string, prefixLen int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[name]
+	return ok && e.length >= prefixLen
+}
+
+// UsedBytes returns the bytes currently cached on disk.
+func (b *Backend) UsedBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Len returns the number of cached objects.
+func (b *Backend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Backend) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Close flushes and closes the manifest, releases the directory lock, and
+// closes the inner backend. The cached files remain for the next process.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	var err error
+	if b.manifest != nil {
+		err = b.manifest.Close()
+		b.manifest = nil
+	}
+	b.mu.Unlock()
+	if b.lock != nil {
+		b.lock.unlock()
+	}
+	if cerr := b.inner.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,521 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeBackend is an in-memory core.Backend that counts upstream traffic.
+type fakeBackend struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+	reads   int
+	bytes   int64
+	ranges  []string // "name:offset+length" per ReadRange, in call order
+	delay   time.Duration
+	closed  bool
+}
+
+func newFake() *fakeBackend {
+	return &fakeBackend{objects: map[string][]byte{
+		"records/a.pcr": seq(0, 1000),
+		"records/b.pcr": seq(7, 800),
+		"records/c.pcr": seq(13, 600),
+	}}
+}
+
+// seq builds deterministic distinguishable bytes.
+func seq(salt byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*31 + salt
+	}
+	return b
+}
+
+func (f *fakeBackend) Open(name string) (io.ReadCloser, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("fake: no object %q", name)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+func (f *fakeBackend) ReadRange(name string, offset, length int64) ([]byte, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("fake: no object %q", name)
+	}
+	if offset+length > int64(len(data)) {
+		return nil, fmt.Errorf("fake: range [%d,%d) past end of %q (%d bytes)", offset, offset+length, name, len(data))
+	}
+	f.reads++
+	f.bytes += length
+	f.ranges = append(f.ranges, fmt.Sprintf("%s:%d+%d", name, offset, length))
+	out := make([]byte, length)
+	copy(out, data[offset:offset+length])
+	return out, nil
+}
+
+func (f *fakeBackend) List() ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var names []string
+	for n := range f.objects {
+		names = append(names, n)
+	}
+	return names, nil
+}
+
+func (f *fakeBackend) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (f *fakeBackend) counters() (int, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads, f.bytes
+}
+
+func mustRead(t *testing.T, b *Backend, name string, offset, length int64, want []byte) {
+	t.Helper()
+	got, err := b.ReadRange(name, offset, length)
+	if err != nil {
+		t.Fatalf("ReadRange(%s, %d, %d): %v", name, offset, length, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ReadRange(%s, %d, %d): wrong bytes", name, offset, length)
+	}
+}
+
+func TestMissHitAndDeltaUpgrade(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a := inner.objects["records/a.pcr"]
+
+	// Cold miss: fetches [0,100).
+	mustRead(t, b, "records/a.pcr", 0, 100, a[:100])
+	// Warm hit: no upstream traffic.
+	r0, _ := inner.counters()
+	mustRead(t, b, "records/a.pcr", 0, 100, a[:100])
+	mustRead(t, b, "records/a.pcr", 20, 50, a[20:70])
+	if r, _ := inner.counters(); r != r0 {
+		t.Fatalf("warm hits hit upstream: %d reads, want %d", r, r0)
+	}
+	// Upgrade: only the delta [100,300) moves.
+	mustRead(t, b, "records/a.pcr", 0, 300, a[:300])
+	if got := inner.ranges[len(inner.ranges)-1]; got != "records/a.pcr:100+200" {
+		t.Fatalf("upgrade fetched %s, want records/a.pcr:100+200", got)
+	}
+
+	st := b.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.DeltaHits != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 1 delta hit", st)
+	}
+	if st.DeltaBytes != 200 || st.BytesFetched != 300 {
+		t.Fatalf("stats = %+v, want 200 delta of 300 fetched", st)
+	}
+}
+
+func TestWarmRestartServesWithoutUpstream(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := inner.objects["records/a.pcr"]
+	bb := inner.objects["records/b.pcr"]
+	mustRead(t, b, "records/a.pcr", 0, 400, a[:400])
+	mustRead(t, b, "records/b.pcr", 0, 200, bb[:200])
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Second process": same directory, same generation.
+	inner2 := newFake()
+	b2, err := Wrap(inner2, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if st := b2.Stats(); st.Recovered != 2 || st.Discarded != 0 {
+		t.Fatalf("recovery stats = %+v, want 2 recovered, 0 discarded", st)
+	}
+	mustRead(t, b2, "records/a.pcr", 0, 400, a[:400])
+	mustRead(t, b2, "records/b.pcr", 0, 200, bb[:200])
+	if r, _ := inner2.counters(); r != 0 {
+		t.Fatalf("warm restart hit upstream %d times, want 0", r)
+	}
+	// A quality upgrade after restart still moves only the delta.
+	mustRead(t, b2, "records/a.pcr", 0, 500, a[:500])
+	if r, n := inner2.counters(); r != 1 || n != 100 {
+		t.Fatalf("post-restart upgrade moved %d reads / %d bytes, want 1 / 100", r, n)
+	}
+}
+
+func TestGenerationMismatchPurges(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRead(t, b, "records/a.pcr", 0, 100, inner.objects["records/a.pcr"][:100])
+	b.Close()
+
+	b2, err := Wrap(inner, dir, 1<<20, "gen2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if st := b2.Stats(); st.Recovered != 0 {
+		t.Fatalf("recovered %d entries across generations, want 0", st.Recovered)
+	}
+	if b2.Len() != 0 || b2.UsedBytes() != 0 {
+		t.Fatalf("cache not purged: %d entries, %d bytes", b2.Len(), b2.UsedBytes())
+	}
+	// The purged entry re-fetches cleanly.
+	r0, _ := inner.counters()
+	mustRead(t, b2, "records/a.pcr", 0, 100, inner.objects["records/a.pcr"][:100])
+	if r, _ := inner.counters(); r != r0+1 {
+		t.Fatalf("purged entry did not refetch")
+	}
+}
+
+// TestTruncatedManifestRecovery simulates a kill -9 mid-journal-append: the
+// manifest's final line is torn. Reopening must keep every entry journaled
+// before the tear and serve it without upstream traffic.
+func TestTruncatedManifestRecovery(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := inner.objects["records/a.pcr"]
+	bb := inner.objects["records/b.pcr"]
+	mustRead(t, b, "records/a.pcr", 0, 400, a[:400])
+	mustRead(t, b, "records/b.pcr", 0, 200, bb[:200])
+	b.Close()
+
+	// Tear the final journal line mid-bytes.
+	mpath := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	inner2 := newFake()
+	b2, err := Wrap(inner2, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	st := b2.Stats()
+	if st.Recovered != 1 || st.Discarded == 0 {
+		t.Fatalf("recovery stats = %+v, want 1 recovered and a discarded tear", st)
+	}
+	// The surviving entry serves warm; the torn one refetches correctly.
+	mustRead(t, b2, "records/a.pcr", 0, 400, a[:400])
+	if r, _ := inner2.counters(); r != 0 {
+		t.Fatalf("surviving entry hit upstream")
+	}
+	mustRead(t, b2, "records/b.pcr", 0, 200, bb[:200])
+	if r, _ := inner2.counters(); r != 1 {
+		t.Fatalf("torn entry served stale bytes without refetch")
+	}
+}
+
+// TestTornPrefixFileRecovery simulates a crash mid-data-append (journal
+// promises more bytes than the file holds) and silent corruption (CRC
+// mismatch). Both must discard the entry; the rest survive.
+func TestTornPrefixFileRecovery(t *testing.T) {
+	for _, damage := range []string{"truncate", "corrupt"} {
+		t.Run(damage, func(t *testing.T) {
+			inner := newFake()
+			dir := t.TempDir()
+			b, err := Wrap(inner, dir, 1<<20, "gen1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := inner.objects["records/a.pcr"]
+			bb := inner.objects["records/b.pcr"]
+			mustRead(t, b, "records/a.pcr", 0, 400, a[:400])
+			mustRead(t, b, "records/b.pcr", 0, 200, bb[:200])
+			victim := b.objectFile("records/a.pcr")
+			b.Close()
+
+			switch damage {
+			case "truncate":
+				if err := os.Truncate(victim, 123); err != nil {
+					t.Fatal(err)
+				}
+			case "corrupt":
+				raw, err := os.ReadFile(victim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[57] ^= 0xFF
+				if err := os.WriteFile(victim, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			inner2 := newFake()
+			b2, err := Wrap(inner2, dir, 1<<20, "gen1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b2.Close()
+			if st := b2.Stats(); st.Recovered != 1 || st.Discarded != 1 {
+				t.Fatalf("recovery stats = %+v, want 1 recovered / 1 discarded", st)
+			}
+			// The damaged entry is gone: a read refetches and returns clean
+			// bytes — corrupt data never reaches the caller.
+			mustRead(t, b2, "records/a.pcr", 0, 400, a[:400])
+			if r, _ := inner2.counters(); r != 1 {
+				t.Fatalf("damaged entry did not refetch (reads=%d)", r)
+			}
+			// The healthy entry still serves warm.
+			mustRead(t, b2, "records/b.pcr", 0, 200, bb[:200])
+			if r, _ := inner2.counters(); r != 1 {
+				t.Fatalf("healthy entry hit upstream after recovery")
+			}
+		})
+	}
+}
+
+// TestDataPastJournaledExtentIsTrimmed simulates a crash after a data
+// append but before its journal line: the file holds more bytes than the
+// journal promises. The journaled prefix must survive and the tail must be
+// trimmed so later appends extend the verified prefix correctly.
+func TestDataPastJournaledExtentIsTrimmed(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := inner.objects["records/a.pcr"]
+	mustRead(t, b, "records/a.pcr", 0, 300, a[:300])
+	path := b.objectFile("records/a.pcr")
+	b.Close()
+
+	// Un-journaled garbage lands at the end of the file.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("garbage-from-a-torn-append"))
+	f.Close()
+
+	inner2 := newFake()
+	b2, err := Wrap(inner2, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if st := b2.Stats(); st.Recovered != 1 || st.Discarded != 0 {
+		t.Fatalf("recovery stats = %+v, want the journaled prefix recovered", st)
+	}
+	// A quality upgrade must append at exactly the journaled extent.
+	mustRead(t, b2, "records/a.pcr", 0, 500, a[:500])
+	if got := inner2.ranges[len(inner2.ranges)-1]; got != "records/a.pcr:300+200" {
+		t.Fatalf("post-trim upgrade fetched %s, want records/a.pcr:300+200", got)
+	}
+	mustRead(t, b2, "records/a.pcr", 250, 150, a[250:400])
+}
+
+// TestSingleflightCoalescesConcurrentMisses: N workers asking for the same
+// cold prefix must cost exactly one upstream fetch. Run under -race.
+func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
+	inner := newFake()
+	inner.delay = 20 * time.Millisecond
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a := inner.objects["records/a.pcr"]
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := b.ReadRange("records/a.pcr", 0, 600)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, a[:600]) {
+				errs <- fmt.Errorf("wrong bytes")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if r, _ := inner.counters(); r != 1 {
+		t.Fatalf("%d concurrent misses cost %d upstream fetches, want 1", workers, r)
+	}
+	st := b.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d coalesced hits", st, workers-1)
+	}
+}
+
+func TestEvictionHoldsBudgetAndSurvivesRestart(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1000, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRead(t, b, "records/a.pcr", 0, 600, inner.objects["records/a.pcr"][:600])
+	mustRead(t, b, "records/b.pcr", 0, 600, inner.objects["records/b.pcr"][:600])
+	if used := b.UsedBytes(); used > 1000 {
+		t.Fatalf("budget not enforced: %d bytes used", used)
+	}
+	if st := b.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions under a 1000-byte budget")
+	}
+	if b.Contains("records/a.pcr", 1) {
+		t.Fatal("LRU entry a not evicted")
+	}
+	if !b.Contains("records/b.pcr", 600) {
+		t.Fatal("most recent entry b evicted")
+	}
+	b.Close()
+
+	// The survivor — and only it — persists across restart.
+	b2, err := Wrap(inner, dir, 1000, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if st := b2.Stats(); st.Recovered != 1 {
+		t.Fatalf("recovered %d entries, want 1", st.Recovered)
+	}
+	if !b2.Contains("records/b.pcr", 600) {
+		t.Fatal("survivor not recovered")
+	}
+}
+
+func TestShrunkCapacityEvictsOnOpen(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRead(t, b, "records/a.pcr", 0, 600, inner.objects["records/a.pcr"][:600])
+	mustRead(t, b, "records/b.pcr", 0, 600, inner.objects["records/b.pcr"][:600])
+	b.Close()
+
+	b2, err := Wrap(inner, dir, 700, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if used := b2.UsedBytes(); used > 700 {
+		t.Fatalf("shrunk budget not enforced on open: %d bytes", used)
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a := inner.objects["records/a.pcr"]
+	// Grow one entry a byte at a time: hundreds of journal lines for one
+	// live entry must trigger compaction.
+	for n := int64(1); n <= 300; n++ {
+		mustRead(t, b, "records/a.pcr", 0, n, a[:n])
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(raw, []byte("\n")); lines > 100 {
+		t.Fatalf("journal not compacted: %d lines for 1 live entry", lines)
+	}
+}
+
+func TestSecondOpenerFailsFast(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := Wrap(newFake(), dir, 1<<20, "gen1"); err == nil {
+		t.Fatal("second opener of a locked cache directory should fail")
+	}
+	// After Close the directory is reusable.
+	b.Close()
+	b2, err := Wrap(newFake(), dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Close()
+}
+
+func TestOpenAndListDelegate(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rc, err := b.Open("records/a.pcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if !bytes.Equal(data, inner.objects["records/a.pcr"]) {
+		t.Fatal("Open did not delegate")
+	}
+	names, err := b.List()
+	if err != nil || len(names) != 3 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}

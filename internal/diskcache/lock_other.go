@@ -1,0 +1,11 @@
+//go:build !unix
+
+package diskcache
+
+// Non-unix platforms get no advisory lock: single-process-per-directory is
+// a documented requirement rather than an enforced one.
+type dirLock struct{}
+
+func lockDir(dir string) (*dirLock, error) { return &dirLock{}, nil }
+
+func (l *dirLock) unlock() {}

@@ -27,8 +27,10 @@ type Client struct {
 	// http.Client (then connection lifecycle is theirs).
 	ownedTransport *http.Transport
 
-	mu  sync.Mutex
-	idx *core.Index
+	mu      sync.Mutex
+	idx     *core.Index
+	shard   int
+	nshards int // 0 = whole index
 }
 
 // NewClient returns a Client for the prefix server at baseURL
@@ -58,14 +60,42 @@ func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 	return &Client{base: strings.TrimRight(u.String(), "/"), hc: httpClient, ownedTransport: owned}, nil
 }
 
-// FetchIndex retrieves and caches the dataset's record index.
+// SetShard restricts the client to stride shard index-of-count of the
+// dataset: FetchIndex downloads only the shard view
+// (GET /index?shard=i&nshards=n), so a distributed worker's index transfer
+// — and everything planned from it — is proportional to its share of the
+// dataset. Must be called before the first FetchIndex; the served shard
+// view lists records r with r % count == index, the same disjoint
+// partition pcr.Loader's WithShard computes locally.
+func (c *Client) SetShard(index, count int) error {
+	if count <= 0 {
+		return fmt.Errorf("serve: shard count must be positive, got %d", count)
+	}
+	if index < 0 || index >= count {
+		return fmt.Errorf("serve: shard index %d out of range [0,%d)", index, count)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.idx != nil {
+		return fmt.Errorf("serve: SetShard after the index was fetched")
+	}
+	c.shard, c.nshards = index, count
+	return nil
+}
+
+// FetchIndex retrieves and caches the dataset's record index (the shard
+// view when SetShard was called).
 func (c *Client) FetchIndex() (*core.Index, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.idx != nil {
 		return c.idx, nil
 	}
-	resp, err := c.hc.Get(c.base + "/index")
+	url := c.base + "/index"
+	if c.nshards > 0 {
+		url = fmt.Sprintf("%s/index?shard=%d&nshards=%d", c.base, c.shard, c.nshards)
+	}
+	resp, err := c.hc.Get(url)
 	if err != nil {
 		return nil, fmt.Errorf("serve: fetching index: %w", err)
 	}

@@ -41,7 +41,11 @@
 // The server keeps a byte-budgeted LRU of hot record prefixes (reusing
 // internal/cache): concurrent requests for different records (shards) are
 // served in parallel by net/http, and a request that extends a cached
-// prefix performs one backing delta read rather than a full re-read.
+// prefix performs one backing delta read rather than a full re-read. A
+// second, persistent tier (internal/diskcache, Options.DiskCacheDir) can
+// sit under the memory LRU for servers whose backing store is itself
+// remote or slow: prefixes evicted from memory stay one local read away,
+// and the tier survives server restarts.
 package serve
 
 import (
@@ -56,6 +60,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/diskcache"
 )
 
 // Options configure a Server.
@@ -64,6 +69,16 @@ type Options struct {
 	// prefixes. Zero disables the cache: every request reads through to
 	// the backing store.
 	CacheBytes int64
+	// DiskCacheDir mounts a persistent prefix cache (internal/diskcache)
+	// under the memory LRU: record bytes evicted from memory are still one
+	// local read away instead of one backing-store read away — the second
+	// tier of the cache hierarchy, surviving server restarts. Empty
+	// disables the tier. The directory must belong to this server process
+	// alone.
+	DiskCacheDir string
+	// DiskCacheBytes is the disk tier's byte budget (default 4× CacheBytes
+	// when a directory is set).
+	DiskCacheBytes int64
 }
 
 // Stats is a point-in-time snapshot of the server's counters, exposed at
@@ -85,6 +100,9 @@ type Stats struct {
 	BytesRead int64 `json:"bytes_read"`
 	// Cache are the hot-prefix cache's counters (zero when disabled).
 	Cache cache.Stats `json:"cache"`
+	// DiskCache are the persistent disk tier's counters (zero when
+	// disabled).
+	DiskCache diskcache.Stats `json:"disk_cache"`
 }
 
 // Server serves one opened PCR dataset over HTTP. It is an http.Handler;
@@ -101,6 +119,7 @@ type Server struct {
 	etags     []string
 
 	cache *cache.Cache
+	disk  *diskcache.Backend
 
 	requests      atomic.Int64
 	rangeRequests atomic.Int64
@@ -127,7 +146,9 @@ func New(dir string, opts *Options) (*Server, error) {
 }
 
 // NewFromDataset serves an already-opened dataset, which the caller remains
-// responsible for closing.
+// responsible for closing. With Options.DiskCacheDir set, the dataset's
+// storage backend is wrapped in the persistent cache tier in place; the
+// wrapper is released by the dataset's own Close.
 func NewFromDataset(ds *core.Dataset, opts *Options) (*Server, error) {
 	var o Options
 	if opts != nil {
@@ -150,6 +171,24 @@ func NewFromDataset(ds *core.Dataset, opts *Options) (*Server, error) {
 		// Records are immutable once written, so name + full length is a
 		// strong validator.
 		s.etags = append(s.etags, fmt.Sprintf("%q", fmt.Sprintf("%s-%d", re.Name, re.Prefixes[len(re.Prefixes)-1])))
+	}
+	if o.DiskCacheDir != "" {
+		budget := o.DiskCacheBytes
+		if budget <= 0 {
+			if budget = 4 * o.CacheBytes; budget <= 0 {
+				budget = 1 << 30
+			}
+		}
+		gen, err := core.IndexFingerprint(ix)
+		if err != nil {
+			return nil, err
+		}
+		dc, err := diskcache.Wrap(ds.Backend(), o.DiskCacheDir, budget, gen)
+		if err != nil {
+			return nil, err
+		}
+		ds.SetBackend(dc)
+		s.disk = dc
 	}
 	if o.CacheBytes > 0 {
 		c, err := cache.New(o.CacheBytes, s.fetchRange)
@@ -189,6 +228,9 @@ func (s *Server) Stats() Stats {
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
+	}
+	if s.disk != nil {
+		st.DiskCache = s.disk.Stats()
 	}
 	return st
 }

@@ -8,10 +8,15 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/diskcache"
 )
 
 // CacheStats snapshots the prefix cache's counters (see WithCacheBytes).
 type CacheStats = cache.Stats
+
+// DiskCacheStats snapshots the persistent disk tier's counters (see
+// WithDiskCache).
+type DiskCacheStats = diskcache.Stats
 
 // Dataset is an opened dataset in any Format. Scans are safe to run
 // concurrently with each other and with Close. Close invalidates the
@@ -30,6 +35,12 @@ func Open(dir string, opts ...Option) (*Dataset, error) {
 	cfg, err := applyOptions(opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.diskCacheDir != "" && cfg.format != PCR {
+		return nil, fmt.Errorf("pcr: disk cache supports the pcr format only, not %s", cfg.format.Name())
+	}
+	if cfg.indexShards > 0 {
+		return nil, fmt.Errorf("pcr: WithIndexShard applies to OpenRemote; shard a local dataset with the loader's WithShard")
 	}
 	r, err := cfg.format.open(dir, cfg)
 	if err != nil {
@@ -329,4 +340,20 @@ func (d *Dataset) CacheStats() (stats CacheStats, ok bool) {
 		return ra.cacheStats()
 	}
 	return CacheStats{}, false
+}
+
+// diskCacheAccessor is implemented by readers carrying a persistent disk
+// cache tier.
+type diskCacheAccessor interface {
+	diskCacheStats() (diskcache.Stats, bool)
+}
+
+// DiskCacheStats reports the persistent disk tier's counters — hits, delta
+// bytes, evictions, and the recovery scan of the most recent open. ok is
+// false when the dataset has no disk cache (WithDiskCache unset).
+func (d *Dataset) DiskCacheStats() (stats DiskCacheStats, ok bool) {
+	if da, daOK := d.r.(diskCacheAccessor); daOK {
+		return da.diskCacheStats()
+	}
+	return DiskCacheStats{}, false
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/diskcache"
 	"repro/internal/jpegc"
 )
 
@@ -38,11 +39,26 @@ func (pcrFormat) open(dir string, cfg *config) (formatReader, error) {
 	return r, nil
 }
 
-// newPCRReader wires the optional LRU prefix cache over a dataset opened
+// newPCRReader wires the optional cache tiers over a dataset opened
 // against any Backend — the shared tail of Open (local disk) and
-// OpenRemote (HTTP prefix server).
+// OpenRemote (HTTP prefix server). The persistent disk cache
+// (WithDiskCache) decorates the storage backend itself, so it sits under
+// the in-memory LRU (WithCacheBytes): a read misses memory, then disk,
+// then goes upstream — and each tier fills with exactly the delta bytes.
 func newPCRReader(ds *core.Dataset, cfg *config) (*pcrReader, error) {
 	r := &pcrReader{ds: ds}
+	if cfg.diskCacheDir != "" {
+		gen, err := core.IndexFingerprint(ds.Index())
+		if err != nil {
+			return nil, err
+		}
+		dc, err := diskcache.Wrap(ds.Backend(), cfg.diskCacheDir, cfg.diskCacheBytes, gen)
+		if err != nil {
+			return nil, err
+		}
+		ds.SetBackend(dc)
+		r.disk = dc
+	}
 	if cfg.cacheBytes > 0 {
 		c, err := cache.New(cfg.cacheBytes, r.fetchRange)
 		if err != nil {
@@ -61,10 +77,12 @@ func (w *pcrWriter) append(s Sample) error {
 
 func (w *pcrWriter) close() error { return w.w.Close() }
 
-// pcrReader reads record prefixes, optionally through the LRU prefix cache.
+// pcrReader reads record prefixes, optionally through the in-memory LRU
+// prefix cache and the persistent disk tier beneath it.
 type pcrReader struct {
 	ds    *core.Dataset
 	cache *cache.Cache
+	disk  *diskcache.Backend
 }
 
 func (r *pcrReader) numImages() int { return r.ds.NumImages() }
@@ -196,6 +214,13 @@ func (r *pcrReader) cacheStats() (cache.Stats, bool) {
 		return cache.Stats{}, false
 	}
 	return r.cache.Stats(), true
+}
+
+func (r *pcrReader) diskCacheStats() (diskcache.Stats, bool) {
+	if r.disk == nil {
+		return diskcache.Stats{}, false
+	}
+	return r.disk.Stats(), true
 }
 
 // decode is shared by Dataset.Scan's worker pool.

@@ -175,6 +175,30 @@ type EpochStats struct {
 	ImagesPerSec float64
 }
 
+// Checkpoint is a Loader position: everything needed for a restarted
+// worker to re-enter training mid-epoch at the same shuffled position.
+// Because the shuffle is a pure function of (seed, epoch), the checkpoint
+// is tiny — no record lists, just coordinates — and resuming skips the
+// already-consumed prefix of the epoch without reading the skipped records
+// (their lengths come from the index). Serialize it with encoding/json and
+// pair it with WithDiskCache for warm-restart training: the coordinates
+// restore the position, the disk cache restores the bytes.
+type Checkpoint struct {
+	// Epoch is the epoch in flight when the checkpoint was taken.
+	Epoch int `json:"epoch"`
+	// Batch counts the batches of Epoch fully delivered before the
+	// checkpoint; resume re-enters at batch index Batch.
+	Batch int `json:"batch"`
+	// Seed, BatchSize, Window, Shard, and Shards record the loader
+	// configuration the position is meaningful under; WithResume restores
+	// them.
+	Seed      int64 `json:"seed"`
+	BatchSize int   `json:"batch_size"`
+	Window    int   `json:"shuffle_window"`
+	Shard     int   `json:"shard"`
+	Shards    int   `json:"shards"`
+}
+
 // Loader is a real-I/O, multi-epoch training input pipeline over a
 // record-format Dataset (local or remote): it partitions records across
 // distributed workers (WithShard), visits each epoch's records in a
@@ -195,20 +219,27 @@ type Loader struct {
 
 	records []int // this shard's record indices in storage order
 
+	resume    Checkpoint
+	hasResume bool
+
 	mu      sync.Mutex
 	last    EpochStats
 	hasLast bool
+	pos     Checkpoint
+	hasPos  bool
 }
 
 // loaderConfig collects LoaderOption results.
 type loaderConfig struct {
-	batch   int
-	shardIx int
-	shards  int
-	window  int
-	seed    int64
-	policy  QualityPolicy
-	dropRem bool
+	batch     int
+	shardIx   int
+	shards    int
+	window    int
+	seed      int64
+	policy    QualityPolicy
+	dropRem   bool
+	resume    Checkpoint
+	hasResume bool
 }
 
 // LoaderOption configures NewLoader.
@@ -284,6 +315,35 @@ func WithQualityPolicy(p QualityPolicy) LoaderOption {
 	}
 }
 
+// WithResume restores a position saved by Checkpoint: the loader adopts
+// the checkpoint's seed, batch size, shuffle window, and shard (its
+// coordinates are only meaningful under them — apply WithResume before any
+// option that deliberately deviates), and Epoch(ctx, cp.Epoch) skips the
+// cp.Batch batches consumed before the restart, re-entering the epoch at
+// the same shuffled position. Records wholly inside the skipped prefix are
+// never read — their extents come from the index — so resuming deep into
+// an epoch costs at most one partial record read. Epochs other than
+// cp.Epoch stream in full.
+func WithResume(cp Checkpoint) LoaderOption {
+	return func(c *loaderConfig) error {
+		if cp.Epoch < 0 || cp.Batch < 0 {
+			return fmt.Errorf("pcr: checkpoint position (%d,%d) malformed", cp.Epoch, cp.Batch)
+		}
+		if cp.BatchSize > 0 {
+			c.batch = cp.BatchSize
+		}
+		if cp.Window > 0 {
+			c.window = cp.Window
+		}
+		if cp.Shards > 0 {
+			c.shardIx, c.shards = cp.Shard, cp.Shards
+		}
+		c.seed = cp.Seed
+		c.resume, c.hasResume = cp, true
+		return nil
+	}
+}
+
 // WithDropRemainder drops an epoch's final short batch instead of yielding
 // it (fixed-shape training steps).
 func WithDropRemainder() LoaderOption {
@@ -306,15 +366,21 @@ func NewLoader(ds *Dataset, opts ...LoaderOption) (*Loader, error) {
 			return nil, err
 		}
 	}
+	if ds.cfg.indexShards > 0 && cfg.shards > 1 {
+		return nil, fmt.Errorf("pcr: dataset opened with WithIndexShard(%d,%d) is already one shard; drop the loader's WithShard",
+			ds.cfg.indexShard, ds.cfg.indexShards)
+	}
 	l := &Loader{
-		ds:      ds,
-		batch:   cfg.batch,
-		shardIx: cfg.shardIx,
-		shards:  cfg.shards,
-		window:  cfg.window,
-		seed:    cfg.seed,
-		policy:  cfg.policy,
-		dropRem: cfg.dropRem,
+		ds:        ds,
+		batch:     cfg.batch,
+		shardIx:   cfg.shardIx,
+		shards:    cfg.shards,
+		window:    cfg.window,
+		seed:      cfg.seed,
+		policy:    cfg.policy,
+		dropRem:   cfg.dropRem,
+		resume:    cfg.resume,
+		hasResume: cfg.hasResume,
 	}
 	for r := 0; r < ds.NumRecords(); r++ {
 		if r%l.shards == l.shardIx {
@@ -384,8 +450,30 @@ func (l *Loader) Epoch(ctx context.Context, epoch int) iter.Seq2[Batch, error] {
 		// shared bounded decode pool; job order preserves the shuffled
 		// order. The first job of each record carries the record's read
 		// accounting.
+		// Resuming into this epoch: the first resume.Batch batches were
+		// delivered before the restart. Records wholly inside that prefix
+		// are skipped without a read — their image counts come from the
+		// index — so only the record straddling the boundary is read and
+		// partially discarded.
+		base := 0 // completed batches before this run
+		if l.hasResume && epoch == l.resume.Epoch {
+			base = l.resume.Batch
+		}
+		skip := base * l.batch // samples to skip
+
 		jobs := decodePool(ictx, workers, func(emit func(*decodeJob) bool) {
 			for _, rec := range l.epochOrder(epoch) {
+				if skip > 0 {
+					n, err := l.ds.RecordImages(rec)
+					if err != nil {
+						emit(&decodeJob{err: err})
+						return
+					}
+					if skip >= n {
+						skip -= n
+						continue
+					}
+				}
 				q := l.policy.RecordQuality(epoch, rec)
 				qq, err := l.ds.resolveQuality(q)
 				if err == nil {
@@ -405,15 +493,18 @@ func (l *Loader) Epoch(ctx context.Context, epoch int) iter.Seq2[Batch, error] {
 					emit(&decodeJob{err: err})
 					return
 				}
-				for si := range samples {
+				first := true
+				for si := skip; si < len(samples); si++ {
 					j := &decodeJob{s: samples[si]}
-					if si == 0 {
+					if first {
 						j.bytes, j.quality = bytes, qq
+						first = false
 					}
 					if !emit(j) {
 						return
 					}
 				}
+				skip = 0
 			}
 		})
 
@@ -423,6 +514,17 @@ func (l *Loader) Epoch(ctx context.Context, epoch int) iter.Seq2[Batch, error] {
 			b := Batch{Epoch: epoch, Samples: cur}
 			cur = make([]Sample, 0, l.batch)
 			stats.Batches++
+			// Advance the checkpoint position before handing the batch
+			// over: a Checkpoint() taken while the consumer holds batch k
+			// resumes at k+1 (take it after finishing work on the batch).
+			l.mu.Lock()
+			l.pos = Checkpoint{
+				Epoch: epoch, Batch: base + stats.Batches,
+				Seed: l.seed, BatchSize: l.batch, Window: l.window,
+				Shard: l.shardIx, Shards: l.shards,
+			}
+			l.hasPos = true
+			l.mu.Unlock()
 			return yield(b, nil)
 		}
 		var stall time.Duration
@@ -501,4 +603,17 @@ func (l *Loader) LastEpochStats() (stats EpochStats, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.last, l.hasLast
+}
+
+// Checkpoint returns the loader's current position — the coordinates a
+// restarted worker passes to WithResume to re-enter mid-epoch where this
+// one left off. Take it after finishing work on a batch: the position
+// already points past that batch. ok is false before the first batch of
+// the loader's life has been delivered (resume from the epoch start
+// instead). The checkpoint is JSON-serializable for persistence alongside
+// model weights.
+func (l *Loader) Checkpoint() (cp Checkpoint, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pos, l.hasPos
 }

@@ -2,6 +2,7 @@ package pcr_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"sync"
 	"testing"
@@ -338,5 +339,168 @@ func TestPlateauPolicySteps(t *testing.T) {
 	p.Report(1.0)
 	if q := p.Quality(); q != 1 {
 		t.Fatalf("policy descended below Min: %d", q)
+	}
+}
+
+// TestLoaderResumeMidEpoch: a worker consumes part of an epoch, checkpoints,
+// "crashes", and a fresh loader resumed from the checkpoint delivers exactly
+// the remaining samples of the same shuffled epoch — and never reads the
+// records wholly inside the consumed prefix.
+func TestLoaderResumeMidEpoch(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(4))
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	opts := []pcr.LoaderOption{
+		pcr.WithBatchSize(8),
+		pcr.WithLoaderSeed(7),
+		pcr.WithShuffleWindow(4),
+	}
+	full, err := pcr.NewLoader(ds, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs, _ := epochIDs(t, full, 3)
+
+	// First life: consume 2 batches of epoch 3, checkpoint, stop.
+	first, err := pcr.NewLoader(ds, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotIDs []int64
+	var cp pcr.Checkpoint
+	consumed := 0
+	for b, err := range first.Epoch(context.Background(), 3) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range b.Samples {
+			gotIDs = append(gotIDs, s.ID)
+		}
+		consumed++
+		if consumed == 2 {
+			var ok bool
+			cp, ok = first.Checkpoint()
+			if !ok {
+				t.Fatal("no checkpoint after two batches")
+			}
+			break
+		}
+	}
+	if cp.Epoch != 3 || cp.Batch != 2 {
+		t.Fatalf("checkpoint = (%d,%d), want (3,2)", cp.Epoch, cp.Batch)
+	}
+
+	// Second life: a fresh loader resumed from the checkpoint. The resumed
+	// epoch must move fewer record bytes than a full one (skipped records
+	// are never read).
+	second, err := pcr.NewLoader(ds, pcr.WithResume(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, err := range second.Epoch(context.Background(), cp.Epoch) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range b.Samples {
+			gotIDs = append(gotIDs, s.ID)
+		}
+	}
+	if len(gotIDs) != len(wantIDs) {
+		t.Fatalf("resumed epoch delivered %d samples total, want %d", len(gotIDs), len(wantIDs))
+	}
+	for i := range wantIDs {
+		if gotIDs[i] != wantIDs[i] {
+			t.Fatalf("sample %d: resumed sequence %d, uninterrupted %d", i, gotIDs[i], wantIDs[i])
+		}
+	}
+	fullStats, _ := full.LastEpochStats()
+	resStats, ok := second.LastEpochStats()
+	if !ok {
+		t.Fatal("no stats after resumed epoch")
+	}
+	if resStats.BytesRead >= fullStats.BytesRead {
+		t.Fatalf("resumed epoch read %d bytes, full epoch %d — skipped records were read",
+			resStats.BytesRead, fullStats.BytesRead)
+	}
+
+	// Later epochs stream in full again.
+	nextIDs, _ := epochIDs(t, second, 4)
+	wantNext, _ := epochIDs(t, full, 4)
+	if len(nextIDs) != len(wantNext) {
+		t.Fatalf("epoch after resume delivered %d samples, want %d", len(nextIDs), len(wantNext))
+	}
+}
+
+// TestLoaderResumeRoundTripsJSON: checkpoints persist like model weights.
+func TestLoaderResumeRoundTripsJSON(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(4))
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	l, err := pcr.NewLoader(ds, pcr.WithBatchSize(4), pcr.WithLoaderSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range l.Epoch(context.Background(), 0) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		break // one batch
+	}
+	cp, ok := l.Checkpoint()
+	if !ok {
+		t.Fatal("no checkpoint")
+	}
+	data, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back pcr.Checkpoint
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cp {
+		t.Fatalf("checkpoint round-trip: %+v != %+v", back, cp)
+	}
+	if back.Seed != 9 || back.BatchSize != 4 {
+		t.Fatalf("checkpoint did not record configuration: %+v", back)
+	}
+}
+
+// TestLoaderResumeAtEpochEnd: resuming from a checkpoint taken after the
+// final batch yields an empty remainder, not an error.
+func TestLoaderResumeAtEpochEnd(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(4))
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	l, err := pcr.NewLoader(ds, pcr.WithBatchSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochIDs(t, l, 0)
+	cp, _ := l.Checkpoint()
+
+	resumed, err := pcr.NewLoader(ds, pcr.WithResume(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, err := range resumed.Epoch(context.Background(), cp.Epoch) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 0 {
+		t.Fatalf("resume past the last batch delivered %d batches, want 0", n)
 	}
 }

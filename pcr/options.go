@@ -10,6 +10,10 @@ type config struct {
 	cacheBytes      int64
 	workers         int
 	jpegQuality     int
+	diskCacheDir    string
+	diskCacheBytes  int64
+	indexShard      int
+	indexShards     int // 0 = whole index
 }
 
 func defaultConfig() *config {
@@ -83,6 +87,49 @@ func WithCacheBytes(n int64) Option {
 			return fmt.Errorf("pcr: cache bytes must be non-negative, got %d", n)
 		}
 		c.cacheBytes = n
+		return nil
+	}
+}
+
+// WithDiskCache gives the dataset a persistent on-disk prefix cache
+// (internal/diskcache) of the given byte budget at dir: a second tier under
+// the in-memory WithCacheBytes LRU that survives process restarts. Record
+// prefixes are stored as append-only files keyed by a fingerprint of the
+// dataset's index, so a restarted worker's next epoch reads warm local
+// bytes instead of re-fetching — near-zero network for a remote dataset —
+// and a later quality upgrade appends only the delta bytes (§5 delta
+// pricing, made durable). Crash recovery discards torn entries on open;
+// the directory must belong to exactly one process at a time (give each
+// training worker its own). PCR format only.
+func WithDiskCache(dir string, maxBytes int64) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("pcr: empty disk cache directory")
+		}
+		if maxBytes <= 0 {
+			return fmt.Errorf("pcr: disk cache bytes must be positive, got %d", maxBytes)
+		}
+		c.diskCacheDir = dir
+		c.diskCacheBytes = maxBytes
+		return nil
+	}
+}
+
+// WithIndexShard opens only stride shard index-of-count of the dataset's
+// record index: records r with r % count == index, the same disjoint
+// partition pcr.Loader's WithShard uses. A remote worker opened this way
+// downloads only its share of the index (GET /index?shard=i&nshards=n) and
+// sees a dataset whose records ARE its shard — drive it with a default
+// (unsharded) Loader. OpenRemote only.
+func WithIndexShard(index, count int) Option {
+	return func(c *config) error {
+		if count <= 0 {
+			return fmt.Errorf("pcr: index shard count must be positive, got %d", count)
+		}
+		if index < 0 || index >= count {
+			return fmt.Errorf("pcr: index shard %d out of range [0,%d)", index, count)
+		}
+		c.indexShard, c.indexShards = index, count
 		return nil
 	}
 }

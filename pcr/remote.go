@@ -15,6 +15,13 @@ import (
 // delta bytes of each record over the wire, the paper's §5 cache property
 // running across the network.
 //
+// Two options change what "remote" costs. WithIndexShard makes this worker
+// download only its stride partition of the index (and see a dataset whose
+// records are exactly its shard — drive it with a default, unsharded
+// Loader). WithDiskCache mounts a persistent local prefix cache under the
+// read path, so a restarted worker re-reads warm local bytes instead of
+// the network, and a later quality upgrade moves only the delta bytes.
+//
 // Remote serving is specific to the PCR layout (its whole point is prefix
 // ranges), so WithFormat selecting a baseline format is an error.
 func OpenRemote(baseURL string, opts ...Option) (*Dataset, error) {
@@ -29,12 +36,20 @@ func OpenRemote(baseURL string, opts ...Option) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.indexShards > 0 {
+		if err := client.SetShard(cfg.indexShard, cfg.indexShards); err != nil {
+			client.Close()
+			return nil, err
+		}
+	}
 	ix, err := client.FetchIndex()
 	if err != nil {
+		client.Close()
 		return nil, err
 	}
 	ds, err := core.OpenDatasetIndex(ix, client)
 	if err != nil {
+		client.Close()
 		return nil, err
 	}
 	r, err := newPCRReader(ds, cfg)
