@@ -42,22 +42,27 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 256, "hot-prefix LRU budget in MiB (0 = no cache)")
 	diskDir := flag.String("disk-cache-dir", "", "persistent prefix cache directory (empty = no disk tier)")
 	diskMB := flag.Int64("disk-cache-mb", 1024, "persistent prefix cache budget in MiB")
+	diskLazy := flag.Bool("disk-cache-lazy", false, "defer disk cache CRC verification to first touch (fast start over a huge warm cache)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "pcrserved: -dataset is required")
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr, *cacheMB, *diskDir, *diskMB); err != nil {
+	if err := run(*dir, *addr, *cacheMB, *diskDir, *diskMB, *diskLazy); err != nil {
 		fmt.Fprintln(os.Stderr, "pcrserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string, cacheMB int64, diskDir string, diskMB int64) error {
+func run(dir, addr string, cacheMB int64, diskDir string, diskMB int64, diskLazy bool) error {
+	if diskLazy && diskDir == "" {
+		return fmt.Errorf("-disk-cache-lazy requires -disk-cache-dir")
+	}
 	s, err := serve.New(dir, &serve.Options{
-		CacheBytes:     cacheMB << 20,
-		DiskCacheDir:   diskDir,
-		DiskCacheBytes: diskMB << 20,
+		CacheBytes:          cacheMB << 20,
+		DiskCacheDir:        diskDir,
+		DiskCacheBytes:      diskMB << 20,
+		DiskCacheLazyVerify: diskLazy,
 	})
 	if err != nil {
 		return err

@@ -40,7 +40,9 @@ func main() {
 	flag.StringVar(&cfg.model, "model", "shufflenetlike", "resnetlike or shufflenetlike")
 	flag.StringVar(&cfg.task, "task", "multiclass", "multiclass, make-only, binary")
 	flag.IntVar(&cfg.group, "group", 0, "scan group / quality (0 = full quality)")
-	flag.StringVar(&cfg.dynamic, "dynamic", "", "dynamic tuning: plateau (real I/O), or cosine/plateau with -sim")
+	flag.StringVar(&cfg.dynamic, "dynamic", "", "dynamic tuning: plateau or probe (real I/O), or cosine/plateau with -sim")
+	flag.IntVar(&cfg.probeSteps, "probe-steps", 4, "minibatches trained per candidate quality during an upward probe (-dynamic probe)")
+	flag.Float64Var(&cfg.probeTol, "probe-tolerance", 0.05, "upward probe accepts the cheapest quality within (1+tol)x of the best probe loss")
 	flag.Float64Var(&cfg.mix, "mix", 0, "mixture weight for -sim dynamic tuning (0 = hard selection)")
 	flag.IntVar(&cfg.epochs, "epochs", 8, "epoch budget")
 	flag.IntVar(&cfg.batch, "batch", 32, "SGD minibatch size")
@@ -53,6 +55,7 @@ func main() {
 	flag.Int64Var(&cfg.cacheMB, "cache-mb", 0, "LRU prefix cache budget in MiB (0 = no cache)")
 	flag.StringVar(&cfg.diskCacheDir, "disk-cache-dir", "", "persistent prefix cache directory, one per worker (empty = no disk tier)")
 	flag.Int64Var(&cfg.diskCacheMB, "disk-cache-mb", 512, "persistent prefix cache budget in MiB")
+	flag.BoolVar(&cfg.diskCacheLazy, "disk-cache-lazy", false, "defer disk cache CRC verification to first touch (fast warm open of huge caches)")
 	flag.BoolVar(&cfg.sim, "sim", false, "use the virtual-clock harness (paper-figure mode) instead of real I/O")
 	flag.Parse()
 	if err := run(os.Stdout, cfg); err != nil {
@@ -70,6 +73,9 @@ type cliConfig struct {
 	seed, cacheMB                       int64
 	diskCacheDir                        string
 	diskCacheMB                         int64
+	diskCacheLazy                       bool
+	probeSteps                          int
+	probeTol                            float64
 	sim                                 bool
 }
 
@@ -117,9 +123,15 @@ func runReal(w io.Writer, cfg cliConfig) (*realtrain.Result, error) {
 		fmt.Fprintf(w, "synthesized %s ×%g: %d images → %s\n", cfg.dataset, cfg.scale, n, dir)
 		data = dir
 	}
+	if cfg.diskCacheLazy && cfg.diskCacheDir == "" {
+		return nil, fmt.Errorf("-disk-cache-lazy requires -disk-cache-dir")
+	}
 	openOpts := []pcr.Option{pcr.WithCacheBytes(cfg.cacheMB << 20)}
 	if cfg.diskCacheDir != "" {
 		openOpts = append(openOpts, pcr.WithDiskCache(cfg.diskCacheDir, cfg.diskCacheMB<<20))
+		if cfg.diskCacheLazy {
+			openOpts = append(openOpts, pcr.WithDiskCacheLazyVerify())
+		}
 	}
 	// A remote sharded worker downloads only its stride partition of the
 	// index (GET /index?shard=i&nshards=n); the dataset it sees IS its
@@ -147,7 +159,13 @@ func runReal(w io.Writer, cfg cliConfig) (*realtrain.Result, error) {
 		policy = pcr.FixedQuality(cfg.group) // group 0 == pcr.Full
 	case "plateau":
 		policy = &pcr.PlateauPolicy{
-			Detector: &autotune.PlateauController{Window: 3, MinImprove: 0.05},
+			Detector: autotune.PlateauDetector{Window: 3, MinImprove: 0.05},
+		}
+	case "probe":
+		policy = &pcr.ProbePolicy{
+			Detector:   autotune.PlateauDetector{Window: 3, MinImprove: 0.05},
+			ProbeSteps: cfg.probeSteps,
+			Tolerance:  cfg.probeTol,
 		}
 	case "cosine":
 		return nil, fmt.Errorf("cosine tuning needs full-quality gradient probes; use -sim -dynamic cosine")
@@ -191,6 +209,10 @@ func runReal(w io.Writer, cfg cliConfig) (*realtrain.Result, error) {
 	}
 	fmt.Fprintf(w, "\nfinal loss %.4f; %.2f MB moved in %v\n",
 		res.FinalLoss, float64(res.TotalBytes)/1e6, res.TotalWall.Round(time.Millisecond))
+	if res.Probes > 0 {
+		fmt.Fprintf(w, "probes: %d upward, %d re-ascended quality; %.2f MB probe reads, model updates rolled back\n",
+			res.Probes, res.ProbeWins, float64(res.ProbeBytes)/1e6)
+	}
 	if st, ok := ds.DiskCacheStats(); ok {
 		fmt.Fprintf(w, "disk cache: %d hits, %d delta hits, %d misses; %.2f MB fetched upstream (%.2f MB delta); %d entries recovered warm\n",
 			st.Hits, st.DeltaHits, st.Misses, float64(st.BytesFetched)/1e6, float64(st.DeltaBytes)/1e6, st.Recovered)

@@ -127,6 +127,74 @@ func TestAdaptiveEpochMovesFewerBytes(t *testing.T) {
 	}
 }
 
+// TestProbeModeEndToEnd: pcrtrain's -dynamic probe against a pcrserved
+// engine with a persistent disk cache — the full §4.5 bidirectional loop.
+// Training descends on plateaus; the LR drops trigger upward probes whose
+// reads ride the warm disk cache (epoch 0 ran at full quality, so the
+// probes' record prefixes are already local and re-probing is delta-priced
+// at zero extra network bytes); the summary line reports the probes. A
+// second run over the same cache directory — with lazy first-touch
+// verification — recovers warm and trains to completion.
+func TestProbeModeEndToEnd(t *testing.T) {
+	dir := synthDataset(t)
+	srv, err := serve.New(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	cfg := testConfig(ts.URL)
+	cfg.epochs = 15 // LR drops at epochs 5 and 10
+	cfg.dynamic = "probe"
+	cfg.probeSteps = 2
+	cfg.probeTol = 0.05
+	cfg.diskCacheDir = t.TempDir()
+	cfg.diskCacheMB = 512
+
+	var out bytes.Buffer
+	res, err := runReal(&out, cfg)
+	if err != nil {
+		t.Fatalf("probe mode: %v", err)
+	}
+	if math.IsNaN(res.FinalLoss) || math.IsInf(res.FinalLoss, 0) {
+		t.Fatalf("final loss is %v", res.FinalLoss)
+	}
+	if res.Probes == 0 {
+		t.Fatalf("no upward probe ran across two LR drops:\n%s", out.String())
+	}
+	if res.ProbeBytes == 0 {
+		t.Fatal("probes read no bytes")
+	}
+	if !strings.Contains(out.String(), "probes:") {
+		t.Fatalf("summary missing the probe line:\n%s", out.String())
+	}
+	// The policy descended at some point: some epoch read below full.
+	descended := false
+	for _, p := range res.Epochs {
+		if p.Stats.MinQuality < cfg.scanGroups {
+			descended = true
+		}
+	}
+	if !descended {
+		t.Fatalf("policy never descended; probes had nothing to re-ascend:\n%s", out.String())
+	}
+
+	// Warm restart over the same cache, now with lazy verification (the
+	// -disk-cache-lazy path): entries recover without a CRC scan and the
+	// run completes.
+	cfg.diskCacheLazy = true
+	var out2 bytes.Buffer
+	if _, err := runReal(&out2, cfg); err != nil {
+		t.Fatalf("warm lazy probe run: %v", err)
+	}
+	if !strings.Contains(out2.String(), "entries recovered warm") ||
+		strings.Contains(out2.String(), " 0 entries recovered warm") {
+		t.Fatalf("warm restart recovered no cache entries:\n%s", out2.String())
+	}
+}
+
 // TestSimModeStillRuns keeps the virtual-clock harness alive behind -sim.
 func TestSimModeStillRuns(t *testing.T) {
 	cfg := testConfig("")

@@ -85,7 +85,7 @@ func run() error {
 	}
 	defer ds.Close()
 	policy := &pcr.PlateauPolicy{
-		Detector: &autotune.PlateauController{Window: 2, MinImprove: 0.05},
+		Detector: autotune.PlateauDetector{Window: 2, MinImprove: 0.05},
 	}
 	l, err := pcr.NewLoader(ds,
 		pcr.WithBatchSize(32),

@@ -38,6 +38,11 @@
 // invariant. The manifest is then compacted by atomic rename, so every open
 // starts from a clean, verified state and no corrupt bytes are ever served.
 //
+// Recovery's CRC pass reads every cached byte, which is the right trade at
+// gigabytes and the wrong one at terabytes; WithLazyVerify keeps Open to
+// metadata-only work and moves each entry's CRC check to its first read,
+// with the same no-corrupt-bytes guarantee.
+//
 // # Coherence
 //
 // The cache is keyed by a caller-supplied generation string — in the pcr
@@ -88,9 +93,12 @@ type Stats struct {
 	// Evictions counts entries evicted to hold the byte budget.
 	Evictions int64 `json:"evictions"`
 	// Recovered and Discarded count manifest entries accepted / rejected by
-	// the verification scan of the most recent Open.
+	// the verification scan of the most recent Open. Under WithLazyVerify,
+	// Recovered counts entries accepted provisionally (CRC deferred) and
+	// Discarded keeps growing past Open: a lazily recovered entry whose
+	// first touch fails its CRC is quarantined and counted here.
 	Recovered int64 `json:"recovered"`
-	// Discarded counts entries dropped at Open: torn data files, CRC
+	// Discarded counts entries dropped for torn data files, CRC
 	// mismatches, or a truncated journal tail.
 	Discarded int64 `json:"discarded"`
 }
@@ -100,6 +108,10 @@ type entry struct {
 	length int64  // validated prefix extent on disk
 	crc    uint32 // crc32(IEEE) of the first length bytes
 	elem   *list.Element
+	// verified is false for entries recovered in lazy mode whose CRC has
+	// not been checked yet; the first ReadRange touching such an entry
+	// verifies it (and quarantines it on mismatch) before serving.
+	verified bool
 }
 
 // Backend is a persistent prefix cache over an inner core.Backend. ReadRange
@@ -111,6 +123,8 @@ type Backend struct {
 	dir   string
 	cap   int64
 	gen   string
+
+	lazy bool
 
 	mu       sync.Mutex
 	entries  map[string]*entry
@@ -138,12 +152,30 @@ type journalLine struct {
 	Del string  `json:"del,omitempty"`
 }
 
+// Option configures Wrap.
+type Option func(*Backend)
+
+// WithLazyVerify defers recovery's CRC verification from Open to each
+// entry's first ReadRange. Open still replays the journal, stats every
+// surviving entry's data file (discarding missing or short files), and
+// trims un-journaled tails — all cheap metadata operations — but does not
+// read cached bytes, so a warm restart over a terabyte-scale cache opens in
+// milliseconds instead of stalling the first epoch. The integrity guarantee
+// is unchanged: an entry's journaled CRC is checked before its first byte
+// is served, and a torn or corrupt entry is quarantined (dropped and
+// refetched from upstream) at that first touch, counted in
+// Stats.Discarded.
+func WithLazyVerify() Option {
+	return func(b *Backend) { b.lazy = true }
+}
+
 // Wrap opens (or creates) the persistent cache at dir over the inner
 // backend, with the given byte capacity and dataset generation. Entries
 // journaled by a previous process are verified and reused when the
-// generation matches; a mismatch purges the directory. The returned Backend
-// owns inner and closes it with Close.
-func Wrap(inner core.Backend, dir string, capacity int64, generation string) (*Backend, error) {
+// generation matches (at Open, or at first touch under WithLazyVerify); a
+// mismatch purges the directory. The returned Backend owns inner and
+// closes it with Close.
+func Wrap(inner core.Backend, dir string, capacity int64, generation string, opts ...Option) (*Backend, error) {
 	if inner == nil {
 		return nil, fmt.Errorf("diskcache: nil inner backend")
 	}
@@ -169,6 +201,9 @@ func Wrap(inner core.Backend, dir string, capacity int64, generation string) (*B
 		lru:      list.New(),
 		lock:     lock,
 		fetching: make(map[string]*sync.Mutex),
+	}
+	for _, opt := range opts {
+		opt(b)
 	}
 	if err := b.recover(); err != nil {
 		lock.unlock()
@@ -246,13 +281,28 @@ func (b *Backend) recover() error {
 		journaled, order = nil, nil
 	}
 
-	// Verify each journaled entry against its data file.
+	// Verify each journaled entry against its data file. Eager mode reads
+	// and CRCs every cached byte here; lazy mode only stats the file (and
+	// trims un-journaled tails), deferring the CRC to first touch.
 	for _, name := range order {
 		st, ok := journaled[name]
 		if !ok {
 			continue // deleted later in the journal
 		}
 		path := b.objectFile(name)
+		if b.lazy {
+			if !statTrim(path, st.length) {
+				os.Remove(path)
+				b.stats.Discarded++
+				continue
+			}
+			e := &entry{name: name, length: st.length, crc: st.crc}
+			e.elem = b.lru.PushFront(name)
+			b.entries[name] = e
+			b.used += st.length
+			b.stats.Recovered++
+			continue
+		}
 		length, crc, err := verifyPrefix(path, st.length, st.crc)
 		if err != nil || length != st.length || crc != st.crc {
 			// Torn or corrupt: discard the whole entry. Serving a shorter
@@ -263,7 +313,7 @@ func (b *Backend) recover() error {
 			b.stats.Discarded++
 			continue
 		}
-		e := &entry{name: name, length: st.length, crc: st.crc}
+		e := &entry{name: name, length: st.length, crc: st.crc, verified: true}
 		e.elem = b.lru.PushFront(name)
 		b.entries[name] = e
 		b.used += st.length
@@ -285,6 +335,27 @@ func (b *Backend) recover() error {
 	// shrunk since the last run).
 	b.evictLocked("")
 	return nil
+}
+
+// statTrim is lazy recovery's metadata-only check: path must hold at least
+// length bytes (trailing un-journaled bytes are trimmed so later O_APPEND
+// writes land at the journaled extent). No data bytes are read.
+func statTrim(path string, length int64) bool {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.Size() < length {
+		return false
+	}
+	if fi.Size() > length {
+		if err := f.Truncate(length); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // verifyPrefix checks that path holds at least length bytes whose CRC over
@@ -484,7 +555,7 @@ func (b *Backend) ReadRange(name string, offset, length int64) ([]byte, error) {
 		b.mu.Unlock()
 		return nil, fmt.Errorf("diskcache: closed")
 	}
-	if e, ok := b.entries[name]; ok && e.length >= need {
+	if e, ok := b.entries[name]; ok && e.verified && e.length >= need {
 		b.lru.MoveToFront(e.elem)
 		b.mu.Unlock()
 		buf, err := b.readWindow(name, offset, length)
@@ -511,6 +582,24 @@ func (b *Backend) ReadRange(name string, offset, length int64) ([]byte, error) {
 	if b.closed {
 		b.mu.Unlock()
 		return nil, fmt.Errorf("diskcache: closed")
+	}
+	// First touch of a lazily recovered entry: settle its CRC now, before
+	// any byte of it is served or extended. A mismatch quarantines the
+	// entry — the read below restarts cold from upstream, exactly as if
+	// eager recovery had discarded it at Open.
+	if e, ok := b.entries[name]; ok && !e.verified {
+		want, wantCRC := e.length, e.crc
+		b.mu.Unlock()
+		length, crc, verr := verifyPrefix(b.objectFile(name), want, wantCRC)
+		b.mu.Lock()
+		if e2, still := b.entries[name]; still && e2 == e {
+			if verr == nil && length == want && crc == wantCRC {
+				e.verified = true
+			} else {
+				b.invalidateLocked(name)
+				b.stats.Discarded++
+			}
+		}
 	}
 	var have int64
 	var haveCRC uint32
@@ -685,7 +774,7 @@ func (b *Backend) refetchCold(name string, need int64) ([]byte, error) {
 
 // installLocked records a fresh entry. Caller holds b.mu.
 func (b *Backend) installLocked(name string, length int64, crc uint32) {
-	e := &entry{name: name, length: length, crc: crc}
+	e := &entry{name: name, length: length, crc: crc, verified: true}
 	e.elem = b.lru.PushFront(name)
 	b.entries[name] = e
 	b.used += length

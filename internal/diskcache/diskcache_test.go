@@ -519,3 +519,176 @@ func TestOpenAndListDelegate(t *testing.T) {
 		t.Fatalf("List = %v, %v", names, err)
 	}
 }
+
+// warmTwoEntries fills a cache with two prefixes and closes it, returning
+// the victim object's data file path for damage injection.
+func warmTwoEntries(t *testing.T, inner *fakeBackend, dir string) (victim string) {
+	t.Helper()
+	b, err := Wrap(inner, dir, 1<<20, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := inner.objects["records/a.pcr"]
+	bb := inner.objects["records/b.pcr"]
+	mustRead(t, b, "records/a.pcr", 0, 400, a[:400])
+	mustRead(t, b, "records/b.pcr", 0, 200, bb[:200])
+	victim = b.objectFile("records/a.pcr")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return victim
+}
+
+// TestLazyVerifyWarmRestart: a lazy reopen accepts journaled entries
+// without reading their bytes, serves them warm (zero upstream traffic),
+// and delta upgrades still move only the missing suffix after the
+// first-touch verification.
+func TestLazyVerifyWarmRestart(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	warmTwoEntries(t, inner, dir)
+
+	inner2 := newFake()
+	b2, err := Wrap(inner2, dir, 1<<20, "gen1", WithLazyVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if st := b2.Stats(); st.Recovered != 2 || st.Discarded != 0 {
+		t.Fatalf("lazy recovery stats = %+v, want 2 recovered / 0 discarded", st)
+	}
+	a := inner2.objects["records/a.pcr"]
+	mustRead(t, b2, "records/a.pcr", 0, 400, a[:400])
+	if r, _ := inner2.counters(); r != 0 {
+		t.Fatalf("warm lazy read hit upstream %d times", r)
+	}
+	// Repeat read takes the verified fast path.
+	mustRead(t, b2, "records/a.pcr", 100, 200, a[100:300])
+	if st := b2.Stats(); st.Hits != 2 {
+		t.Fatalf("hits = %d, want 2", st.Hits)
+	}
+	// Delta upgrade after lazy recovery appends only the suffix.
+	mustRead(t, b2, "records/a.pcr", 0, 600, a[:600])
+	if r, bts := inner2.counters(); r != 1 || bts != 200 {
+		t.Fatalf("upgrade fetched %d ranges / %d bytes, want 1 / 200 (the delta)", r, bts)
+	}
+}
+
+// TestLazyVerifyQuarantinesTornEntry is the required torn-file test: a
+// corrupted cached prefix sails through the lazy open (its bytes are not
+// read) but is quarantined at first touch — the read returns clean
+// refetched bytes, never the corrupt ones, and the entry is counted
+// discarded.
+func TestLazyVerifyQuarantinesTornEntry(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	victim := warmTwoEntries(t, inner, dir)
+
+	// Flip one byte inside the journaled extent.
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[57] ^= 0xFF
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	inner2 := newFake()
+	b2, err := Wrap(inner2, dir, 1<<20, "gen1", WithLazyVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	// The damage is invisible at open: that is what makes the open cheap.
+	if st := b2.Stats(); st.Recovered != 2 || st.Discarded != 0 {
+		t.Fatalf("lazy open stats = %+v, want 2 recovered / 0 discarded", st)
+	}
+	if !b2.Contains("records/a.pcr", 400) {
+		t.Fatal("provisionally recovered entry not listed")
+	}
+
+	// First touch: CRC mismatch quarantines the entry and the read is
+	// served with clean bytes refetched from upstream.
+	a := inner2.objects["records/a.pcr"]
+	mustRead(t, b2, "records/a.pcr", 0, 400, a[:400])
+	if st := b2.Stats(); st.Discarded != 1 || st.Misses != 1 {
+		t.Fatalf("first touch stats = %+v, want 1 discarded / 1 miss", st)
+	}
+	if r, _ := inner2.counters(); r != 1 {
+		t.Fatalf("quarantined entry refetched %d times, want 1", r)
+	}
+
+	// The healthy entry still serves warm.
+	bb := inner2.objects["records/b.pcr"]
+	mustRead(t, b2, "records/b.pcr", 0, 200, bb[:200])
+	if r, _ := inner2.counters(); r != 1 {
+		t.Fatalf("healthy entry hit upstream after lazy recovery")
+	}
+
+	// The refetched entry is fully trusted again: repeat reads are hits.
+	mustRead(t, b2, "records/a.pcr", 0, 400, a[:400])
+	if st := b2.Stats(); st.Hits < 1 {
+		t.Fatalf("refetched entry not served as a hit: %+v", st)
+	}
+}
+
+// TestLazyVerifyStillCatchesShortFilesAtOpen: lazy mode stats every file,
+// so a prefix file shorter than its journaled extent — the cheapest form
+// of tear to detect — is still discarded at open, not first touch.
+func TestLazyVerifyStillCatchesShortFilesAtOpen(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	victim := warmTwoEntries(t, inner, dir)
+	if err := os.Truncate(victim, 123); err != nil {
+		t.Fatal(err)
+	}
+
+	inner2 := newFake()
+	b2, err := Wrap(inner2, dir, 1<<20, "gen1", WithLazyVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if st := b2.Stats(); st.Recovered != 1 || st.Discarded != 1 {
+		t.Fatalf("lazy open stats = %+v, want 1 recovered / 1 discarded", st)
+	}
+	a := inner2.objects["records/a.pcr"]
+	mustRead(t, b2, "records/a.pcr", 0, 400, a[:400])
+	if r, _ := inner2.counters(); r != 1 {
+		t.Fatalf("short file refetched %d times, want 1", r)
+	}
+}
+
+// TestLazyVerifyTrimsUnjournaledTail: a crash between a data append and
+// its journal line leaves trailing bytes past the journaled extent. Lazy
+// open trims them (a metadata-only truncate), so a later upgrade appends
+// the delta at the right offset.
+func TestLazyVerifyTrimsUnjournaledTail(t *testing.T) {
+	inner := newFake()
+	dir := t.TempDir()
+	victim := warmTwoEntries(t, inner, dir)
+	f, err := os.OpenFile(victim, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("junk past the journaled extent")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	inner2 := newFake()
+	b2, err := Wrap(inner2, dir, 1<<20, "gen1", WithLazyVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	a := inner2.objects["records/a.pcr"]
+	// Upgrade across the old extent: the tail was trimmed, so the delta
+	// lands at offset 400 and the whole window reads back correctly.
+	mustRead(t, b2, "records/a.pcr", 0, 600, a[:600])
+	if r, bts := inner2.counters(); r != 1 || bts != 200 {
+		t.Fatalf("upgrade fetched %d ranges / %d bytes, want 1 / 200", r, bts)
+	}
+	mustRead(t, b2, "records/a.pcr", 350, 150, a[350:500])
+}

@@ -54,18 +54,26 @@ func (m *MLP) NumParams() int {
 	return len(m.W1) + len(m.B1) + len(m.W2) + len(m.B2)
 }
 
-// Clone deep-copies the parameters (momentum buffers are not copied); used
-// for the checkpoint/rollback step of the paper's autotuner (§4.5).
+// Clone deep-copies the parameters and momentum buffers; used for the
+// checkpoint/rollback step of the paper's autotuner (§4.5). Because the
+// optimizer velocity is part of the copy, training resumed from a restored
+// checkpoint is bit-identical to a run where the probe never happened.
 func (m *MLP) Clone() *MLP {
 	c := &MLP{In: m.In, Hidden: m.Hidden, Out: m.Out}
 	c.W1 = append([]float64(nil), m.W1...)
 	c.B1 = append([]float64(nil), m.B1...)
 	c.W2 = append([]float64(nil), m.W2...)
 	c.B2 = append([]float64(nil), m.B2...)
+	if m.vW1 != nil {
+		c.vW1 = append([]float64(nil), m.vW1...)
+		c.vB1 = append([]float64(nil), m.vB1...)
+		c.vW2 = append([]float64(nil), m.vW2...)
+		c.vB2 = append([]float64(nil), m.vB2...)
+	}
 	return c
 }
 
-// Restore copies parameters from the checkpoint into m.
+// Restore copies parameters and momentum buffers from the checkpoint into m.
 func (m *MLP) Restore(ckpt *MLP) error {
 	if m.In != ckpt.In || m.Hidden != ckpt.Hidden || m.Out != ckpt.Out {
 		return fmt.Errorf("nn: restore shape mismatch")
@@ -74,6 +82,16 @@ func (m *MLP) Restore(ckpt *MLP) error {
 	copy(m.B1, ckpt.B1)
 	copy(m.W2, ckpt.W2)
 	copy(m.B2, ckpt.B2)
+	if ckpt.vW1 == nil {
+		// The checkpoint predates the first optimizer step: clear any
+		// velocity accumulated since, restoring the optimizer state too.
+		m.vW1, m.vB1, m.vW2, m.vB2 = nil, nil, nil, nil
+	} else {
+		m.vW1 = append(m.vW1[:0], ckpt.vW1...)
+		m.vB1 = append(m.vB1[:0], ckpt.vB1...)
+		m.vW2 = append(m.vW2[:0], ckpt.vW2...)
+		m.vB2 = append(m.vB2[:0], ckpt.vB2...)
+	}
 	return nil
 }
 

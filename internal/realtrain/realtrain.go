@@ -37,8 +37,12 @@ type Config struct {
 	// Seed drives model init and the loader's shuffle.
 	Seed int64
 	// Policy chooses per-record read quality. Nil means FixedQuality(Full).
-	// A *pcr.PlateauPolicy additionally receives every minibatch loss
-	// through Report, closing the paper's §4.5 loop on real observations.
+	// A policy with a Report(float64) method (PlateauPolicy, ProbePolicy)
+	// additionally receives every minibatch loss, closing the paper's §4.5
+	// loop on real observations; a ProbeDriver (ProbePolicy) is also told
+	// about learning-rate drops and gets its upward probes run at epoch
+	// boundaries — model checkpointed, probe minibatches trained per
+	// candidate quality through Loader.ProbeBatches, updates rolled back.
 	Policy pcr.QualityPolicy
 	// Shards and ShardIndex partition records across distributed workers
 	// (defaults: 1 shard, index 0).
@@ -49,6 +53,28 @@ type Config struct {
 	// LRDropAt lists epoch fractions where the LR drops 10× (default
 	// {1/3, 2/3}, mirroring the paper's schedule).
 	LRDropAt []float64
+}
+
+// lossReporter is the feedback half of an adaptive policy: every minibatch
+// loss is fed through it.
+type lossReporter interface {
+	Report(loss float64)
+}
+
+// ProbeDriver is the harness-facing surface of a bidirectional quality
+// policy (pcr.ProbePolicy implements it). The harness reports improvement
+// signals in through ReportLRDrop; when the policy wants an upward probe,
+// ProbePlan returns the candidate qualities and the per-candidate minibatch
+// budget, the harness measures each candidate on checkpointed model state,
+// and CompleteProbe hands the results back for the policy's decision.
+type ProbeDriver interface {
+	pcr.QualityPolicy
+	ReportLRDrop()
+	ProbePlan() (candidates []int, steps int, ok bool)
+	CompleteProbe(results []pcr.ProbeResult)
+	// Quality returns the policy's current quality, so the harness can
+	// report whether a completed probe re-ascended it.
+	Quality() int
 }
 
 // EpochResult is one epoch's measured curve point.
@@ -65,10 +91,17 @@ type Result struct {
 	Epochs []EpochResult
 	// FinalLoss is the last epoch's mean loss.
 	FinalLoss float64
-	// TotalBytes sums bytes read across epochs.
+	// TotalBytes sums bytes read across epochs (probe reads excluded; see
+	// ProbeBytes).
 	TotalBytes int64
 	// TotalWall is the measured wall-clock of all epochs.
 	TotalWall time.Duration
+	// Probes counts upward probes run; ProbeWins counts probes whose
+	// winning candidate re-ascended the quality; ProbeBytes sums the
+	// logical record prefix bytes the probes read (with a warm disk cache
+	// the network moves only the scan-group delta).
+	Probes, ProbeWins int
+	ProbeBytes        int64
 }
 
 // Run trains cfg.Model through a pcr.Loader over ds. The dataset must be a
@@ -119,7 +152,8 @@ func Run(ctx context.Context, ds *pcr.Dataset, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	plateau, _ := policy.(*pcr.PlateauPolicy)
+	reporter, _ := policy.(lossReporter)
+	driver, _ := policy.(ProbeDriver)
 
 	res := &Result{}
 	lr := cfg.Model.LR
@@ -127,6 +161,27 @@ func Run(ctx context.Context, ds *pcr.Dataset, cfg Config) (*Result, error) {
 		for _, frac := range drops {
 			if epoch == int(frac*float64(cfg.Epochs)) && epoch > 0 {
 				lr /= 10
+				// An LR drop is the paper's improvement signal: the policy
+				// may ask for an upward probe in response.
+				if driver != nil {
+					driver.ReportLRDrop()
+				}
+			}
+		}
+		// Run any pending upward probe at the epoch boundary, before the
+		// epoch streams: its reads fold into this epoch's ProbeBytes and
+		// its winning quality applies from this epoch's first record.
+		if driver != nil {
+			ran, won, probeBytes, err := probeOnce(ctx, loader, model, driver, cfg.Task, lr, cfg.Model.Momentum)
+			if err != nil {
+				return nil, err
+			}
+			if ran {
+				res.Probes++
+				res.ProbeBytes += probeBytes
+				if won {
+					res.ProbeWins++
+				}
 			}
 		}
 		var epochLoss float64
@@ -135,14 +190,7 @@ func Run(ctx context.Context, ds *pcr.Dataset, cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			nb := nn.Batch{
-				X: make([][]float64, 0, len(b.Samples)),
-				Y: make([]int, 0, len(b.Samples)),
-			}
-			for _, s := range b.Samples {
-				nb.X = append(nb.X, train.Featurize(s.Image))
-				nb.Y = append(nb.Y, cfg.Task.Map(int(s.Label)))
-			}
+			nb := toNNBatch(b, cfg.Task)
 			grads, loss, _, err := model.Gradient(nb)
 			if err != nil {
 				return nil, err
@@ -153,8 +201,8 @@ func Run(ctx context.Context, ds *pcr.Dataset, cfg Config) (*Result, error) {
 			// Feed the adaptive policy real observations at minibatch
 			// granularity; the loader re-resolves quality at the next
 			// record boundary, so a plateau cheapens the epoch in flight.
-			if plateau != nil {
-				plateau.Report(loss)
+			if reporter != nil {
+				reporter.Report(loss)
 			}
 		}
 		if steps == 0 {
@@ -175,4 +223,62 @@ func Run(ctx context.Context, ds *pcr.Dataset, cfg Config) (*Result, error) {
 		res.TotalWall += stats.Wall
 	}
 	return res, nil
+}
+
+// toNNBatch featurizes one loader batch for the model.
+func toNNBatch(b pcr.Batch, task synth.Task) nn.Batch {
+	nb := nn.Batch{
+		X: make([][]float64, 0, len(b.Samples)),
+		Y: make([]int, 0, len(b.Samples)),
+	}
+	for _, s := range b.Samples {
+		nb.X = append(nb.X, train.Featurize(s.Image))
+		nb.Y = append(nb.Y, task.Map(int(s.Label)))
+	}
+	return nb
+}
+
+// probeOnce runs the driver's pending upward probe, if any: it checkpoints
+// the model (parameters AND optimizer velocity), trains `steps` probe
+// minibatches per candidate quality on out-of-band loader reads — each
+// candidate starting from the same checkpoint and reading the SAME records
+// (one Probe handle per probe), so the losses differ by quality, not by
+// which random records each candidate happened to draw — hands the
+// measured losses to the policy, and rolls every probe update back.
+// Training that follows is bit-identical to a run where a losing probe
+// never happened.
+func probeOnce(ctx context.Context, loader *pcr.Loader, model *nn.MLP, driver ProbeDriver, task synth.Task, lr, momentum float64) (ran, won bool, bytes int64, err error) {
+	cands, steps, ok := driver.ProbePlan()
+	if !ok || len(cands) == 0 {
+		return false, false, 0, nil
+	}
+	ckpt := model.Clone()
+	probe := loader.Probe()
+	results := make([]pcr.ProbeResult, 0, len(cands))
+	for _, q := range cands {
+		if err := model.Restore(ckpt); err != nil {
+			return false, false, bytes, err
+		}
+		batches, probeBytes, err := probe.Batches(ctx, q, steps)
+		if err != nil {
+			return false, false, bytes, err
+		}
+		bytes += probeBytes
+		var last float64
+		for _, b := range batches {
+			grads, loss, _, err := model.Gradient(toNNBatch(b, task))
+			if err != nil {
+				return false, false, bytes, err
+			}
+			model.Step(grads, lr, momentum)
+			last = loss
+		}
+		results = append(results, pcr.ProbeResult{Quality: q, Loss: last, Bytes: probeBytes})
+	}
+	// Roll back: probe minibatches must not perturb the real trajectory.
+	if err := model.Restore(ckpt); err != nil {
+		return false, false, bytes, err
+	}
+	driver.CompleteProbe(results)
+	return true, driver.Quality() > cands[0], bytes, nil
 }

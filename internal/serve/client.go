@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
@@ -12,6 +13,36 @@ import (
 
 	"repro/internal/core"
 )
+
+// Retry policy for the client's idempotent GETs (index, record, range
+// reads): a mid-epoch connection reset or truncated response body must not
+// abort a whole training epoch, so each read gets a small bounded budget of
+// attempts with jittered exponential backoff. Per-attempt limits are the
+// http.Client's own timeouts, so the worst case stays bounded.
+const (
+	retryAttempts  = 3
+	retryBaseDelay = 50 * time.Millisecond
+)
+
+// retryDelay returns the backoff before retry attempt i (0-based): the
+// exponential base delay plus up to one base-delay unit of jitter, so
+// concurrent workers that failed together do not retry in lockstep.
+func retryDelay(attempt int) time.Duration {
+	d := retryBaseDelay << attempt
+	return d + time.Duration(rand.Int63n(int64(d)))
+}
+
+// retryableStatus reports whether a response status is worth retrying: the
+// transient server-side 5xx family. Client errors (404, 416) are
+// deterministic and fail immediately.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
 
 // Client is the read side of the wire protocol: a core.Backend whose
 // objects are the records of a remote prefix server. Plugged into
@@ -95,17 +126,23 @@ func (c *Client) FetchIndex() (*core.Index, error) {
 	if c.nshards > 0 {
 		url = fmt.Sprintf("%s/index?shard=%d&nshards=%d", c.base, c.shard, c.nshards)
 	}
-	resp, err := c.hc.Get(url)
-	if err != nil {
-		return nil, fmt.Errorf("serve: fetching index: %w", err)
+	var data []byte
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryDelay(attempt - 1))
+		}
+		var retryable bool
+		data, retryable, lastErr = c.fetchIndexOnce(url)
+		if lastErr == nil {
+			break
+		}
+		if !retryable {
+			return nil, lastErr
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("serve: fetching index: server returned %s", resp.Status)
-	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("serve: fetching index: %w", err)
+	if lastErr != nil {
+		return nil, lastErr
 	}
 	ix, err := core.ParseIndex(data)
 	if err != nil {
@@ -115,27 +152,64 @@ func (c *Client) FetchIndex() (*core.Index, error) {
 	return ix, nil
 }
 
+// fetchIndexOnce is one FetchIndex attempt; retryable marks failures worth
+// another try (transport errors, 5xx, truncated bodies).
+func (c *Client) fetchIndexOnce(url string) (data []byte, retryable bool, err error) {
+	resp, err := c.hc.Get(url)
+	if err != nil {
+		return nil, true, fmt.Errorf("serve: fetching index: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, retryableStatus(resp.StatusCode), fmt.Errorf("serve: fetching index: server returned %s", resp.Status)
+	}
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, true, fmt.Errorf("serve: fetching index: %w", err)
+	}
+	return data, false, nil
+}
+
 func (c *Client) recordURL(name string) string {
 	return c.base + "/records/" + url.PathEscape(name)
 }
 
-// Open streams the whole named record.
+// Open streams the whole named record. The initial request is retried on
+// transient failures (connection errors, 5xx); once the body is streaming
+// it belongs to the caller, so a mid-stream failure surfaces as a read
+// error there — record readers use ReadRange, which retries the whole
+// window.
 func (c *Client) Open(name string) (io.ReadCloser, error) {
-	resp, err := c.hc.Get(c.recordURL(name))
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryDelay(attempt - 1))
+		}
+		resp, err := c.hc.Get(c.recordURL(name))
+		if err != nil {
+			lastErr = fmt.Errorf("serve: %w", err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)
+			if !retryableStatus(resp.StatusCode) {
+				return nil, lastErr
+			}
+			continue
+		}
+		return resp.Body, nil
 	}
-	if resp.StatusCode != http.StatusOK {
-		resp.Body.Close()
-		return nil, fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)
-	}
-	return resp.Body, nil
+	return nil, lastErr
 }
 
 // ReadRange reads [offset, offset+length) of the named record with one
-// HTTP Range request. A 416 means the index promised bytes the server does
-// not have — structural damage, reported as core.ErrCorrupt like a
-// truncated local file.
+// HTTP Range request per attempt: transient failures — a reset connection,
+// a 5xx, a response body cut short mid-transfer — are retried with
+// jittered backoff up to the attempt budget, so one flaky read does not
+// abort a whole scan or training epoch. A 416 means the index promised
+// bytes the server does not have — structural damage, reported immediately
+// as core.ErrCorrupt like a truncated local file.
 func (c *Client) ReadRange(name string, offset, length int64) ([]byte, error) {
 	if length == 0 {
 		return nil, nil
@@ -143,41 +217,65 @@ func (c *Client) ReadRange(name string, offset, length int64) ([]byte, error) {
 	if length < 0 {
 		return nil, fmt.Errorf("serve: negative range length %d for %s", length, name)
 	}
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryDelay(attempt - 1))
+		}
+		buf, retryable, err := c.readRangeOnce(name, offset, length)
+		if err == nil {
+			return buf, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// readRangeOnce is one ReadRange attempt; retryable marks failures worth
+// another try.
+func (c *Client) readRangeOnce(name string, offset, length int64) (buf []byte, retryable bool, err error) {
 	req, err := http.NewRequest(http.MethodGet, c.recordURL(name), nil)
 	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+		return nil, false, fmt.Errorf("serve: %w", err)
 	}
 	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", offset, offset+length-1))
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("serve: reading %s: %w", name, err)
+		return nil, true, fmt.Errorf("serve: reading %s: %w", name, err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusPartialContent:
 		buf := make([]byte, length)
 		if n, err := io.ReadFull(resp.Body, buf); err != nil {
-			return nil, fmt.Errorf("serve: reading %s: %w: truncated response (got %d of %d bytes)",
+			// Could be a dropped connection (transient) or a truly short
+			// object; retry, and report ErrCorrupt only once the budget is
+			// spent.
+			return nil, true, fmt.Errorf("serve: reading %s: %w: truncated response (got %d of %d bytes)",
 				name, core.ErrCorrupt, n, length)
 		}
-		return buf, nil
+		return buf, false, nil
 	case http.StatusOK:
 		// The server ignored the Range header; take the window out of the
 		// full body.
 		body, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return nil, fmt.Errorf("serve: reading %s: %w", name, err)
+			return nil, true, fmt.Errorf("serve: reading %s: %w", name, err)
 		}
 		if int64(len(body)) < offset+length {
-			return nil, fmt.Errorf("serve: reading %s: %w: object is %d bytes, want [%d,%d)",
+			return nil, false, fmt.Errorf("serve: reading %s: %w: object is %d bytes, want [%d,%d)",
 				name, core.ErrCorrupt, len(body), offset, offset+length)
 		}
-		return body[offset : offset+length], nil
+		return body[offset : offset+length], false, nil
 	case http.StatusRequestedRangeNotSatisfiable:
-		return nil, fmt.Errorf("serve: reading %s: %w: range [%d,%d) past end of record",
+		return nil, false, fmt.Errorf("serve: reading %s: %w: range [%d,%d) past end of record",
 			name, core.ErrCorrupt, offset, offset+length)
 	default:
-		return nil, fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)
+		return nil, retryableStatus(resp.StatusCode),
+			fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)
 	}
 }
 

@@ -79,6 +79,10 @@ type Options struct {
 	// DiskCacheBytes is the disk tier's byte budget (default 4× CacheBytes
 	// when a directory is set).
 	DiskCacheBytes int64
+	// DiskCacheLazyVerify defers the disk tier's recovery CRC pass from
+	// startup to each entry's first read (diskcache.WithLazyVerify), so a
+	// server fronting a huge warm cache starts serving immediately.
+	DiskCacheLazyVerify bool
 }
 
 // Stats is a point-in-time snapshot of the server's counters, exposed at
@@ -172,6 +176,9 @@ func NewFromDataset(ds *core.Dataset, opts *Options) (*Server, error) {
 		// strong validator.
 		s.etags = append(s.etags, fmt.Sprintf("%q", fmt.Sprintf("%s-%d", re.Name, re.Prefixes[len(re.Prefixes)-1])))
 	}
+	if o.DiskCacheLazyVerify && o.DiskCacheDir == "" {
+		return nil, fmt.Errorf("serve: DiskCacheLazyVerify requires DiskCacheDir")
+	}
 	if o.DiskCacheDir != "" {
 		budget := o.DiskCacheBytes
 		if budget <= 0 {
@@ -183,7 +190,11 @@ func NewFromDataset(ds *core.Dataset, opts *Options) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		dc, err := diskcache.Wrap(ds.Backend(), o.DiskCacheDir, budget, gen)
+		var dcOpts []diskcache.Option
+		if o.DiskCacheLazyVerify {
+			dcOpts = append(dcOpts, diskcache.WithLazyVerify())
+		}
+		dc, err := diskcache.Wrap(ds.Backend(), o.DiskCacheDir, budget, gen, dcOpts...)
 		if err != nil {
 			return nil, err
 		}

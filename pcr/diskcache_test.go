@@ -321,3 +321,48 @@ func TestDiskCacheRejectsBaselineFormatsAndStaleGenerations(t *testing.T) {
 		}
 	}
 }
+
+// TestDiskCacheLazyVerifyOption: WithDiskCacheLazyVerify wires lazy
+// first-touch verification through the facade — a warm restart still moves
+// zero network bytes — and is rejected without WithDiskCache.
+func TestDiskCacheLazyVerifyOption(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(8), pcr.WithScanGroups(3))
+	srv, ts := startServer(t, dir, nil)
+	cacheDir := t.TempDir()
+	ctx := context.Background()
+
+	ds1, err := pcr.OpenRemote(ts.URL, pcr.WithDiskCache(cacheDir, 1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range ds1.ScanEncoded(ctx, 2) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds1.Close()
+
+	ds2, err := pcr.OpenRemote(ts.URL,
+		pcr.WithDiskCache(cacheDir, 1<<30), pcr.WithDiskCacheLazyVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	st, ok := ds2.DiskCacheStats()
+	if !ok || st.Recovered != int64(ds2.NumRecords()) {
+		t.Fatalf("lazy open recovered %d entries (ok=%v), want %d", st.Recovered, ok, ds2.NumRecords())
+	}
+	prev := srv.Stats().BytesServed
+	for _, err := range ds2.ScanEncoded(ctx, 2) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if moved := srv.Stats().BytesServed - prev; moved != 0 {
+		t.Fatalf("lazy warm re-scan moved %d network bytes, want 0", moved)
+	}
+
+	if _, err := pcr.Open(dir, pcr.WithDiskCacheLazyVerify()); err == nil {
+		t.Fatal("WithDiskCacheLazyVerify without WithDiskCache accepted")
+	}
+}

@@ -47,12 +47,19 @@ func (pcrFormat) open(dir string, cfg *config) (formatReader, error) {
 // then goes upstream — and each tier fills with exactly the delta bytes.
 func newPCRReader(ds *core.Dataset, cfg *config) (*pcrReader, error) {
 	r := &pcrReader{ds: ds}
+	if cfg.diskCacheDir == "" && cfg.diskCacheLazy {
+		return nil, fmt.Errorf("pcr: WithDiskCacheLazyVerify requires WithDiskCache")
+	}
 	if cfg.diskCacheDir != "" {
 		gen, err := core.IndexFingerprint(ds.Index())
 		if err != nil {
 			return nil, err
 		}
-		dc, err := diskcache.Wrap(ds.Backend(), cfg.diskCacheDir, cfg.diskCacheBytes, gen)
+		var dcOpts []diskcache.Option
+		if cfg.diskCacheLazy {
+			dcOpts = append(dcOpts, diskcache.WithLazyVerify())
+		}
+		dc, err := diskcache.Wrap(ds.Backend(), cfg.diskCacheDir, cfg.diskCacheBytes, gen, dcOpts...)
 		if err != nil {
 			return nil, err
 		}

@@ -304,7 +304,7 @@ func TestLoaderUnsupportedFormat(t *testing.T) {
 // known.
 func TestPlateauPolicySteps(t *testing.T) {
 	p := &pcr.PlateauPolicy{
-		Detector: &autotune.PlateauController{Window: 1, MinImprove: 0.99, ProbeSteps: 1},
+		Detector: autotune.PlateauDetector{Window: 1, MinImprove: 0.99},
 		Min:      1,
 	}
 	// Before any loader has resolved Full, plateaus must not step.

@@ -12,6 +12,7 @@ type config struct {
 	jpegQuality     int
 	diskCacheDir    string
 	diskCacheBytes  int64
+	diskCacheLazy   bool
 	indexShard      int
 	indexShards     int // 0 = whole index
 }
@@ -111,6 +112,21 @@ func WithDiskCache(dir string, maxBytes int64) Option {
 		}
 		c.diskCacheDir = dir
 		c.diskCacheBytes = maxBytes
+		return nil
+	}
+}
+
+// WithDiskCacheLazyVerify defers the disk cache's recovery CRC
+// verification from Open to each entry's first read. Eager recovery reads
+// and checksums every cached byte before Open returns — fine at gigabytes,
+// a first-epoch stall at terabytes; lazy mode opens on metadata alone
+// (missing or short files are still discarded immediately) and checks each
+// entry's journaled CRC the first time a read touches it, quarantining and
+// refetching a torn entry at that point. Corrupt bytes are never served in
+// either mode. Requires WithDiskCache.
+func WithDiskCacheLazyVerify() Option {
+	return func(c *config) error {
+		c.diskCacheLazy = true
 		return nil
 	}
 }
