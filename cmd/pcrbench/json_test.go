@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/pcr"
+)
+
+// TestJSONReport: -json writes BENCH_<mode>.json with the machine-readable
+// columns of the printed table (images/s, bytes/img, p50/p99 stall) for
+// both the raw-records and loader modes.
+func TestJSONReport(t *testing.T) {
+	dataDir := t.TempDir()
+	if _, err := pcr.Synthesize(dataDir, "cars", 0.1, 1,
+		pcr.WithImagesPerRecord(8), pcr.WithScanGroups(4)); err != nil {
+		t.Fatal(err)
+	}
+	// writeReport writes to the working directory.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if err := os.Chdir(out); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	for _, tc := range []struct {
+		mode string
+		cfg  benchConfig
+	}{
+		{mode: "records", cfg: benchConfig{dir: dataDir, format: "pcr", workers: 2, passes: 1, json: true}},
+		{mode: "loader", cfg: benchConfig{dir: dataDir, format: "pcr", workers: 2, passes: 2, batch: 8, loader: true, json: true}},
+	} {
+		t.Run(tc.mode, func(t *testing.T) {
+			if err := run(tc.cfg); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(filepath.Join(out, "BENCH_"+tc.mode+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rep benchReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				t.Fatalf("BENCH_%s.json is not valid JSON: %v", tc.mode, err)
+			}
+			if rep.Mode != tc.mode || rep.Dataset != dataDir {
+				t.Fatalf("report header %+v", rep)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("report has no rows")
+			}
+			for _, r := range rep.Rows {
+				if r.Images == 0 || r.ImagesPerSec <= 0 {
+					t.Fatalf("degenerate row %+v", r)
+				}
+				if r.StallP99Ms < r.StallP50Ms {
+					t.Fatalf("p99 stall below p50: %+v", r)
+				}
+				if r.ElapsedMs <= 0 {
+					t.Fatalf("row without elapsed time: %+v", r)
+				}
+			}
+		})
+	}
+}

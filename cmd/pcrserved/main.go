@@ -3,12 +3,14 @@
 // optional ?group=g truncation), so remote readers — pcr.OpenRemote, or any
 // HTTP client that speaks Range — can run the paper's progressive read path
 // against disaggregated storage. Counters are exposed at /varz and
-// /debug/vars; /healthz answers liveness probes.
+// /debug/vars; /healthz answers liveness probes; /cluster reports fleet
+// membership.
 //
 // Usage:
 //
 //	pcrserved -dataset DIR [-addr :8100] [-cache-mb 256] \
-//	          [-disk-cache-dir DIR [-disk-cache-mb 1024]]
+//	          [-disk-cache-dir DIR [-disk-cache-mb 1024]] \
+//	          [-self URL -peers URL1,URL2 [-replication 2] [-sync]]
 //
 // The -cache-mb budget feeds a shared LRU of hot record prefixes: repeat
 // reads of a popular record are served from memory, and a request for a
@@ -17,6 +19,17 @@
 // (internal/diskcache): prefixes evicted from memory are still a local
 // read away, and the tier survives restarts. The directory must belong to
 // this server process alone.
+//
+// Fleet mode: -peers lists the other members of a sharded serving fleet
+// and -self is this member's own URL as clients reach it. Every member is
+// started with the same member set and -replication, and the shared
+// consistent-hash ring (internal/cluster) assigns each record an owner and
+// replicas; this server admits requests only for records placed on it and
+// answers the rest with 421 plus the owner's URL. -sync warms this
+// member's hot cache at startup by pulling its replicated records from
+// their owners. Cluster-aware clients (pcr.OpenRemote with one or more
+// seed URLs) discover the membership from /cluster, route reads to owners,
+// hedge slow reads against replicas, and fail over when a member dies.
 package main
 
 import (
@@ -30,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,27 +57,50 @@ func main() {
 	diskDir := flag.String("disk-cache-dir", "", "persistent prefix cache directory (empty = no disk tier)")
 	diskMB := flag.Int64("disk-cache-mb", 1024, "persistent prefix cache budget in MiB")
 	diskLazy := flag.Bool("disk-cache-lazy", false, "defer disk cache CRC verification to first touch (fast start over a huge warm cache)")
+	self := flag.String("self", "", "fleet mode: this member's URL as clients reach it (e.g. http://10.0.0.7:8100)")
+	peers := flag.String("peers", "", "fleet mode: comma-separated URLs of the other fleet members")
+	replication := flag.Int("replication", 1, "fleet mode: replicas per record, owner included")
+	sync := flag.Bool("sync", false, "fleet mode: warm this member's cache by pulling replicated records from their owners at startup")
+	logReqs := flag.Bool("log-requests", false, "log one line per request")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "pcrserved: -dataset is required")
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr, *cacheMB, *diskDir, *diskMB, *diskLazy); err != nil {
+	opts := serve.Options{
+		CacheBytes:          *cacheMB << 20,
+		DiskCacheDir:        *diskDir,
+		DiskCacheBytes:      *diskMB << 20,
+		DiskCacheLazyVerify: *diskLazy,
+		LogRequests:         *logReqs,
+	}
+	if *peers != "" || *self != "" {
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "pcrserved: fleet mode (-peers) requires -self")
+			os.Exit(2)
+		}
+		cc := &serve.ClusterConfig{Self: *self, Replication: *replication}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cc.Peers = append(cc.Peers, p)
+			}
+		}
+		opts.Cluster = cc
+	}
+	if err := run(*dir, *addr, &opts, *sync); err != nil {
 		fmt.Fprintln(os.Stderr, "pcrserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string, cacheMB int64, diskDir string, diskMB int64, diskLazy bool) error {
-	if diskLazy && diskDir == "" {
+func run(dir, addr string, opts *serve.Options, sync bool) error {
+	if opts.DiskCacheLazyVerify && opts.DiskCacheDir == "" {
 		return fmt.Errorf("-disk-cache-lazy requires -disk-cache-dir")
 	}
-	s, err := serve.New(dir, &serve.Options{
-		CacheBytes:          cacheMB << 20,
-		DiskCacheDir:        diskDir,
-		DiskCacheBytes:      diskMB << 20,
-		DiskCacheLazyVerify: diskLazy,
-	})
+	if sync && opts.Cluster == nil {
+		return fmt.Errorf("-sync requires fleet mode (-self/-peers)")
+	}
+	s, err := serve.New(dir, opts)
 	if err != nil {
 		return err
 	}
@@ -98,9 +135,27 @@ func run(dir, addr string, cacheMB int64, diskDir string, diskMB int64, diskLazy
 	}
 	errc := make(chan error, 1)
 	go func() {
+		if opts.Cluster != nil {
+			log.Printf("pcrserved: fleet member %s (replication %d, %d peers)",
+				opts.Cluster.Self, opts.Cluster.Replication, len(opts.Cluster.Peers))
+		}
 		log.Printf("pcrserved: serving %s on %s", dir, ln.Addr())
 		errc <- srv.Serve(ln)
 	}()
+	if sync {
+		// Replica warm-up runs beside serving, not before it: owners may
+		// still be starting during a rolling fleet bring-up, and a replica
+		// that cannot reach an owner just reads through to the backing
+		// store.
+		go func() {
+			warmed, err := s.SyncReplicas(ctx)
+			if err != nil {
+				log.Printf("pcrserved: replica sync warmed %d records with errors: %v", warmed, err)
+				return
+			}
+			log.Printf("pcrserved: replica sync warmed %d records", warmed)
+		}()
+	}
 	select {
 	case err := <-errc:
 		return err

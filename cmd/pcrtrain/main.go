@@ -36,7 +36,7 @@ import (
 func main() {
 	var cfg cliConfig
 	flag.StringVar(&cfg.dataset, "dataset", "cars", "synthetic profile: imagenet, celebahq, ham10000, cars")
-	flag.StringVar(&cfg.data, "data", "", "dataset directory or pcrserved URL (empty: synthesize into a temp dir)")
+	flag.StringVar(&cfg.data, "data", "", "dataset directory or pcrserved URL(s), comma-separated fleet seeds allowed (empty: synthesize into a temp dir)")
 	flag.StringVar(&cfg.model, "model", "shufflenetlike", "resnetlike or shufflenetlike")
 	flag.StringVar(&cfg.task, "task", "multiclass", "multiclass, make-only, binary")
 	flag.IntVar(&cfg.group, "group", 0, "scan group / quality (0 = full quality)")

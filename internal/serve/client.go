@@ -185,22 +185,48 @@ func (c *Client) Open(name string) (io.ReadCloser, error) {
 		if attempt > 0 {
 			time.Sleep(retryDelay(attempt - 1))
 		}
-		resp, err := c.hc.Get(c.recordURL(name))
-		if err != nil {
-			lastErr = fmt.Errorf("serve: %w", err)
-			continue
+		body, retryable, err := c.openOnce(name)
+		if err == nil {
+			return body, nil
 		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			lastErr = fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)
-			if !retryableStatus(resp.StatusCode) {
-				return nil, lastErr
-			}
-			continue
+		if !retryable {
+			return nil, err
 		}
-		return resp.Body, nil
+		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// openOnce is one Open attempt; retryable marks failures worth another try
+// (on this or — for a cluster client — another member).
+func (c *Client) openOnce(name string) (body io.ReadCloser, retryable bool, err error) {
+	resp, err := c.hc.Get(c.recordURL(name))
+	if err != nil {
+		return nil, true, fmt.Errorf("serve: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			return nil, true, &misdirectedError{name: name, owner: resp.Header.Get(ownerHeader)}
+		}
+		return nil, retryableStatus(resp.StatusCode),
+			fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)
+	}
+	return resp.Body, false, nil
+}
+
+// misdirectedError reports a 421 from a fleet member: the client's ring
+// placed the record on a member that disagrees — stale membership, not a
+// broken record. It is retryable after a membership refresh; the owner
+// header tells the cluster client where the server thinks the record
+// lives.
+type misdirectedError struct {
+	name  string
+	owner string
+}
+
+func (e *misdirectedError) Error() string {
+	return fmt.Sprintf("serve: reading %s: misdirected (owner is %s)", e.name, e.owner)
 }
 
 // ReadRange reads [offset, offset+length) of the named record with one
@@ -222,7 +248,7 @@ func (c *Client) ReadRange(name string, offset, length int64) ([]byte, error) {
 		if attempt > 0 {
 			time.Sleep(retryDelay(attempt - 1))
 		}
-		buf, retryable, err := c.readRangeOnce(name, offset, length)
+		buf, retryable, err := c.readRangeOnce(name, offset, length, false)
 		if err == nil {
 			return buf, nil
 		}
@@ -235,13 +261,17 @@ func (c *Client) ReadRange(name string, offset, length int64) ([]byte, error) {
 }
 
 // readRangeOnce is one ReadRange attempt; retryable marks failures worth
-// another try.
-func (c *Client) readRangeOnce(name string, offset, length int64) (buf []byte, retryable bool, err error) {
+// another try. hedge marks the request as a tail-latency hedge (the
+// X-Pcr-Hedge header), so the receiving member's /varz shows hedged load.
+func (c *Client) readRangeOnce(name string, offset, length int64, hedge bool) (buf []byte, retryable bool, err error) {
 	req, err := http.NewRequest(http.MethodGet, c.recordURL(name), nil)
 	if err != nil {
 		return nil, false, fmt.Errorf("serve: %w", err)
 	}
 	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", offset, offset+length-1))
+	if hedge {
+		req.Header.Set(hedgeHeader, "1")
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, true, fmt.Errorf("serve: reading %s: %w", name, err)
@@ -273,6 +303,8 @@ func (c *Client) readRangeOnce(name string, offset, length int64) (buf []byte, r
 	case http.StatusRequestedRangeNotSatisfiable:
 		return nil, false, fmt.Errorf("serve: reading %s: %w: range [%d,%d) past end of record",
 			name, core.ErrCorrupt, offset, offset+length)
+	case http.StatusMisdirectedRequest:
+		return nil, true, &misdirectedError{name: name, owner: resp.Header.Get(ownerHeader)}
 	default:
 		return nil, retryableStatus(resp.StatusCode),
 			fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)

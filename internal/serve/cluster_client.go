@@ -1,0 +1,630 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Cluster-client tuning knobs. Hedge delays derive from the observed read
+// latency distribution (see hedgeDelay); the down-member TTL bounds how
+// long a dead member keeps absorbing first-attempt connection failures
+// before the client stops preferring it.
+const (
+	// defaultHedgeFloor is the minimum hedge delay when the caller sets
+	// none: local fleets complete reads in well under this, so hedging
+	// stays dormant until the tail genuinely misbehaves.
+	defaultHedgeFloor = 25 * time.Millisecond
+	// latencyWindow is how many recent successful read durations feed the
+	// hedge-delay quantiles.
+	latencyWindow = 64
+	// downTTL is how long a member that failed a read is deprioritized
+	// before the client gives it another first-choice chance.
+	downTTL = 2 * time.Second
+)
+
+// ClusterStats snapshots a ClusterClient's fleet counters.
+type ClusterStats struct {
+	// Hedges counts backup requests fired because the first replica
+	// exceeded the hedge delay; HedgeWins counts hedges whose response
+	// was used.
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	// Failovers counts reads that abandoned one member for the next
+	// replica after a transient failure.
+	Failovers int64 `json:"failovers"`
+	// Refreshes counts membership re-resolutions (/cluster re-fetches
+	// after a member died or a server reported the ring stale).
+	Refreshes int64 `json:"refreshes"`
+	// Misdirects counts 421 responses — a member that disagreed with
+	// this client's ring about a record's placement.
+	Misdirects int64 `json:"misdirects"`
+}
+
+// ClusterClient is the fleet-aware read side of the wire protocol: a
+// core.Backend over a sharded, replicated set of prefix servers. It
+// bootstraps membership from any seed's /cluster endpoint, rebuilds the
+// same consistent-hash ring every server uses (placement is deterministic,
+// so no coordination is needed), and routes every record read to the
+// record's owner. Tail latency is hedged: a read that exceeds a
+// p99-derived delay is re-sent to the next replica and the first response
+// wins. A member that dies mid-scan is failed over through the same
+// bounded-retry machinery the single-server client uses — the read moves
+// to the surviving replicas and membership is re-resolved — so a scan or
+// training epoch keeps streaming through a server kill as long as each
+// record retains one live replica.
+//
+// A ClusterClient pointed at a standalone (non-fleet) server degrades
+// cleanly: /cluster synthesizes a single-member fleet, the ring routes
+// everything there, and hedging never has a second replica to aim at.
+type ClusterClient struct {
+	seeds []string
+	hc    *http.Client
+	// ownedTransport is the transport built for the default client; Close
+	// shuts its idle connections down (per-member Clients share hc and
+	// own nothing).
+	ownedTransport *http.Transport
+
+	// hedgeFloor is the minimum hedge delay; negative disables hedging.
+	hedgeFloor time.Duration
+
+	mu      sync.Mutex
+	info    *cluster.Info
+	ring    *cluster.Ring
+	clients map[string]*Client
+	down    map[string]time.Time // member -> down-until
+	idx     *core.Index
+	shard   int
+	nshards int // 0 = whole index
+
+	latMu sync.Mutex
+	lats  []time.Duration // ring buffer of recent successful read durations
+	latIx int
+
+	hedges     atomic.Int64
+	hedgeWins  atomic.Int64
+	failovers  atomic.Int64
+	refreshes  atomic.Int64
+	misdirects atomic.Int64
+}
+
+// NewClusterClient returns a cluster-aware client bootstrapped from the
+// given seed URLs (any member of the fleet; one is enough — the rest of
+// the membership comes from /cluster). A nil httpClient gets the same
+// bounded-timeout default as NewClient. Membership is fetched lazily on
+// the first read or FetchIndex, so constructing a client does not require
+// a live fleet.
+func NewClusterClient(seedURLs []string, httpClient *http.Client) (*ClusterClient, error) {
+	if len(seedURLs) == 0 {
+		return nil, fmt.Errorf("serve: cluster client needs at least one seed URL")
+	}
+	seeds := make([]string, 0, len(seedURLs))
+	for _, s := range seedURLs {
+		// Validate and normalize each seed exactly as NewClient does.
+		c, err := NewClient(s, http.DefaultClient)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, c.base)
+	}
+	var owned *http.Transport
+	if httpClient == nil {
+		owned = &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 30 * time.Second,
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       90 * time.Second,
+		}
+		httpClient = &http.Client{Timeout: 2 * time.Minute, Transport: owned}
+	}
+	return &ClusterClient{
+		seeds:          seeds,
+		hc:             httpClient,
+		ownedTransport: owned,
+		clients:        make(map[string]*Client),
+		down:           make(map[string]time.Time),
+	}, nil
+}
+
+// SetHedgeDelay sets the hedge delay floor: a read hedges to the next
+// replica when its first attempt has been in flight for
+// max(floor, p99-derived delay). Zero restores the default floor; a
+// negative value disables hedging entirely (reads still fail over on
+// errors — hedging only concerns slowness, not failure).
+func (c *ClusterClient) SetHedgeDelay(floor time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hedgeFloor = floor
+}
+
+// SetShard restricts FetchIndex to stride shard index-of-count, exactly
+// like Client.SetShard. Must be called before the first FetchIndex.
+func (c *ClusterClient) SetShard(index, count int) error {
+	if count <= 0 {
+		return fmt.Errorf("serve: shard count must be positive, got %d", count)
+	}
+	if index < 0 || index >= count {
+		return fmt.Errorf("serve: shard index %d out of range [0,%d)", index, count)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.idx != nil {
+		return fmt.Errorf("serve: SetShard after the index was fetched")
+	}
+	c.shard, c.nshards = index, count
+	return nil
+}
+
+// Stats snapshots the client's fleet counters.
+func (c *ClusterClient) Stats() ClusterStats {
+	return ClusterStats{
+		Hedges:     c.hedges.Load(),
+		HedgeWins:  c.hedgeWins.Load(),
+		Failovers:  c.failovers.Load(),
+		Refreshes:  c.refreshes.Load(),
+		Misdirects: c.misdirects.Load(),
+	}
+}
+
+// Members returns the current fleet membership (fetching it if needed).
+func (c *ClusterClient) Members() ([]string, error) {
+	info, _, err := c.membership()
+	if err != nil {
+		return nil, err
+	}
+	return info.Members, nil
+}
+
+// membership returns the cached membership and ring, bootstrapping from
+// the seeds on first use.
+func (c *ClusterClient) membership() (*cluster.Info, *cluster.Ring, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring != nil {
+		return c.info, c.ring, nil
+	}
+	return c.resolveMembershipLocked(c.seeds)
+}
+
+// refreshMembership re-resolves the fleet membership — called after a
+// member died or reported the client's ring stale. Known members and the
+// original seeds are all candidate sources, so the refresh succeeds as
+// long as anyone is alive.
+func (c *ClusterClient) refreshMembership() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sources := c.seeds
+	if c.info != nil {
+		sources = append(append([]string(nil), c.info.Members...), c.seeds...)
+	}
+	old := c.ring
+	if _, _, err := c.resolveMembershipLocked(sources); err != nil {
+		// Keep the stale ring: routing against yesterday's membership
+		// plus failover beats not routing at all.
+		c.ring = old
+		return
+	}
+	c.refreshes.Add(1)
+}
+
+// resolveMembershipLocked fetches /cluster from the first responsive
+// source and installs the resulting ring. A 404 means a pre-fleet server:
+// synthesize a single-member fleet around it. Caller holds c.mu.
+func (c *ClusterClient) resolveMembershipLocked(sources []string) (*cluster.Info, *cluster.Ring, error) {
+	var lastErr error
+	tried := make(map[string]bool, len(sources))
+	for _, src := range sources {
+		if tried[src] {
+			continue
+		}
+		tried[src] = true
+		info, err := c.fetchClusterInfo(src)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ring, err := cluster.New(info.Members, 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.info, c.ring = info, ring
+		return info, ring, nil
+	}
+	return nil, nil, fmt.Errorf("serve: no cluster member reachable: %w", lastErr)
+}
+
+// fetchClusterInfo GETs one source's /cluster document.
+func (c *ClusterClient) fetchClusterInfo(src string) (*cluster.Info, error) {
+	resp, err := c.hc.Get(src + "/cluster")
+	if err != nil {
+		return nil, fmt.Errorf("serve: fetching membership from %s: %w", src, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var info cluster.Info
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			return nil, fmt.Errorf("serve: fetching membership from %s: %w", src, err)
+		}
+		if len(info.Members) == 0 {
+			return nil, fmt.Errorf("serve: %s reported an empty fleet", src)
+		}
+		if info.Replication <= 0 {
+			info.Replication = 1
+		}
+		return &info, nil
+	case http.StatusNotFound:
+		// A server from before the fleet era: a one-member "fleet".
+		return &cluster.Info{
+			Members:     []string{src},
+			Replication: 1,
+			Self:        src,
+			Epoch:       cluster.Epoch([]string{src}, 1),
+		}, nil
+	default:
+		return nil, fmt.Errorf("serve: fetching membership from %s: server returned %s", src, resp.Status)
+	}
+}
+
+// memberClient returns (creating if needed) the single-server client for
+// one member. Member clients share the cluster client's http.Client, so
+// connection pooling and timeouts are uniform across the fleet.
+func (c *ClusterClient) memberClient(member string) (*Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mc, ok := c.clients[member]; ok {
+		return mc, nil
+	}
+	mc, err := NewClient(member, c.hc)
+	if err != nil {
+		return nil, err
+	}
+	c.clients[member] = mc
+	return mc, nil
+}
+
+// markDown deprioritizes a member for downTTL after a failed read, so a
+// dead member stops absorbing every record's first attempt. It is only a
+// preference: if every replica of a record is marked down, reads still try
+// them all.
+func (c *ClusterClient) markDown(member string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down[member] = time.Now().Add(downTTL)
+}
+
+// replicasFor returns the record's replica set in preference order: the
+// ring's owner-first order, with members recently marked down moved to the
+// back (their relative order preserved).
+func (c *ClusterClient) replicasFor(name string) ([]string, error) {
+	info, ring, err := c.membership()
+	if err != nil {
+		return nil, err
+	}
+	reps := ring.Replicas(name, info.Replication)
+	c.mu.Lock()
+	now := time.Now()
+	live := make([]string, 0, len(reps))
+	var dead []string
+	for _, m := range reps {
+		if until, ok := c.down[m]; ok && now.Before(until) {
+			dead = append(dead, m)
+		} else {
+			live = append(live, m)
+		}
+	}
+	c.mu.Unlock()
+	return append(live, dead...), nil
+}
+
+// observeLatency records one successful read's duration for the hedge
+// quantiles.
+func (c *ClusterClient) observeLatency(d time.Duration) {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	if len(c.lats) < latencyWindow {
+		c.lats = append(c.lats, d)
+		return
+	}
+	c.lats[c.latIx] = d
+	c.latIx = (c.latIx + 1) % latencyWindow
+}
+
+// hedgeDelay derives the backup-request delay from recent read latencies:
+// max(floor, min(p99, 5×p50)). The p99 term makes hedging a tail
+// phenomenon — at most ~1% of healthy reads pay a redundant request — and
+// the 5×p50 clamp keeps the delay anchored to the healthy members' speed
+// when one slow member would otherwise drag p99 (and with it the trigger
+// threshold) up to its own latency, which would turn hedging off exactly
+// when it is needed. ok is false when hedging is disabled.
+func (c *ClusterClient) hedgeDelay() (time.Duration, bool) {
+	c.mu.Lock()
+	floor := c.hedgeFloor
+	c.mu.Unlock()
+	if floor < 0 {
+		return 0, false
+	}
+	if floor == 0 {
+		floor = defaultHedgeFloor
+	}
+	c.latMu.Lock()
+	lats := append([]time.Duration(nil), c.lats...)
+	c.latMu.Unlock()
+	if len(lats) < 8 {
+		return floor, true
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50 := lats[len(lats)/2]
+	p99 := lats[(len(lats)*99+99)/100-1]
+	d := p99
+	if clamp := 5 * p50; clamp < d {
+		d = clamp
+	}
+	if d < floor {
+		d = floor
+	}
+	return d, true
+}
+
+// ReadRange reads [offset, offset+length) of the named record from its
+// replica set: the owner first (hedging to the next replica past the hedge
+// delay), failing over through the remaining replicas on transient errors,
+// and re-resolving membership between retry rounds once a whole replica
+// set has failed. Structural errors — 416/404, the index promising bytes
+// no member has — fail fast like the single-server client. A 421
+// (placement disagreement) triggers a membership refresh and a retry.
+func (c *ClusterClient) ReadRange(name string, offset, length int64) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("serve: negative range length %d for %s", length, name)
+	}
+	var lastErr error
+	for round := 0; round < retryAttempts; round++ {
+		if round > 0 {
+			time.Sleep(retryDelay(round - 1))
+			// A full replica set failed: the fleet may have changed under
+			// us — re-resolve before the next pass.
+			c.refreshMembership()
+		}
+		reps, err := c.replicasFor(name)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		for i, member := range reps {
+			if i > 0 {
+				c.failovers.Add(1)
+			}
+			var buf []byte
+			var retryable bool
+			if i == 0 && len(reps) > 1 {
+				buf, retryable, err = c.hedgedRead(member, reps[1:], name, offset, length)
+			} else {
+				buf, retryable, err = c.readFromMember(member, name, offset, length, false)
+			}
+			if err == nil {
+				return buf, nil
+			}
+			var mis *misdirectedError
+			if errors.As(err, &mis) {
+				c.misdirects.Add(1)
+				c.refreshMembership()
+			} else if !retryable {
+				return nil, err
+			} else {
+				c.markDown(member)
+			}
+			lastErr = err
+		}
+	}
+	return nil, lastErr
+}
+
+// readFromMember is one attempt against one member, with latency recorded
+// on success.
+func (c *ClusterClient) readFromMember(member, name string, offset, length int64, hedge bool) ([]byte, bool, error) {
+	mc, err := c.memberClient(member)
+	if err != nil {
+		return nil, false, err
+	}
+	start := time.Now()
+	buf, retryable, err := mc.readRangeOnce(name, offset, length, hedge)
+	if err == nil {
+		c.observeLatency(time.Since(start))
+	}
+	return buf, retryable, err
+}
+
+// hedgedRead reads from the primary replica, firing one backup request at
+// the next live replica if the primary has not answered within the hedge
+// delay; the first success wins. A structural error (416/404) from EITHER
+// request fails the read immediately — the index promised bytes the fleet
+// does not have, and asking another member cannot change that. Transient
+// errors wait for the other request before giving up.
+func (c *ClusterClient) hedgedRead(primary string, backups []string, name string, offset, length int64) ([]byte, bool, error) {
+	delay, hedgeOK := c.hedgeDelay()
+	if !hedgeOK || len(backups) == 0 {
+		return c.readFromMember(primary, name, offset, length, false)
+	}
+
+	type result struct {
+		member    string
+		buf       []byte
+		retryable bool
+		err       error
+	}
+	resc := make(chan result, 2)
+	attempt := func(member string, hedge bool) {
+		buf, retryable, err := c.readFromMember(member, name, offset, length, hedge)
+		resc <- result{member: member, buf: buf, retryable: retryable, err: err}
+	}
+	go attempt(primary, false)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	inFlight := 1
+	hedged := ""
+	var lastErr error
+	lastRetryable := true
+	for inFlight > 0 {
+		select {
+		case res := <-resc:
+			inFlight--
+			if res.err == nil {
+				if res.member == hedged {
+					c.hedgeWins.Add(1)
+				}
+				return res.buf, false, nil
+			}
+			var mis *misdirectedError
+			if !res.retryable && !errors.As(res.err, &mis) {
+				// Structural: fail the whole read now. The other request
+				// (if any) drains into the buffered channel and is
+				// discarded.
+				return nil, false, res.err
+			}
+			lastErr, lastRetryable = res.err, res.retryable
+		case <-timer.C:
+			if hedged == "" {
+				hedged = backups[0]
+				c.hedges.Add(1)
+				inFlight++
+				go attempt(hedged, true)
+			}
+		}
+	}
+	return nil, lastRetryable, lastErr
+}
+
+// Open streams the whole named record from its replica set, owner first
+// with failover (no hedging: the body is handed to the caller as soon as
+// headers arrive, so there is no in-flight wait to hedge against).
+func (c *ClusterClient) Open(name string) (io.ReadCloser, error) {
+	var lastErr error
+	for round := 0; round < retryAttempts; round++ {
+		if round > 0 {
+			time.Sleep(retryDelay(round - 1))
+			c.refreshMembership()
+		}
+		reps, err := c.replicasFor(name)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		for i, member := range reps {
+			if i > 0 {
+				c.failovers.Add(1)
+			}
+			mc, err := c.memberClient(member)
+			if err != nil {
+				return nil, err
+			}
+			body, retryable, err := mc.openOnce(name)
+			if err == nil {
+				return body, nil
+			}
+			var mis *misdirectedError
+			if errors.As(err, &mis) {
+				c.misdirects.Add(1)
+				c.refreshMembership()
+			} else if !retryable {
+				return nil, err
+			} else {
+				c.markDown(member)
+			}
+			lastErr = err
+		}
+	}
+	return nil, lastErr
+}
+
+// FetchIndex retrieves and caches the dataset's record index (the shard
+// view when SetShard was called) from any live member — the index is
+// identical fleet-wide, so the first member to answer wins.
+func (c *ClusterClient) FetchIndex() (*core.Index, error) {
+	c.mu.Lock()
+	if c.idx != nil {
+		defer c.mu.Unlock()
+		return c.idx, nil
+	}
+	shard, nshards := c.shard, c.nshards
+	c.mu.Unlock()
+
+	info, _, err := c.membership()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for round := 0; round < retryAttempts; round++ {
+		if round > 0 {
+			time.Sleep(retryDelay(round - 1))
+			c.refreshMembership()
+			if info, _, err = c.membership(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		for _, member := range info.Members {
+			mc, err := c.memberClient(member)
+			if err != nil {
+				return nil, err
+			}
+			url := member + "/index"
+			if nshards > 0 {
+				url = fmt.Sprintf("%s/index?shard=%d&nshards=%d", member, shard, nshards)
+			}
+			data, retryable, err := mc.fetchIndexOnce(url)
+			if err == nil {
+				ix, err := core.ParseIndex(data)
+				if err != nil {
+					return nil, err
+				}
+				c.mu.Lock()
+				c.idx = ix
+				c.mu.Unlock()
+				return ix, nil
+			}
+			if !retryable {
+				return nil, err
+			}
+			c.markDown(member)
+			lastErr = err
+		}
+	}
+	return nil, lastErr
+}
+
+// List returns the record object names from the fleet's index.
+func (c *ClusterClient) List() ([]string, error) {
+	ix, err := c.FetchIndex()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ix.Records))
+	for _, re := range ix.Records {
+		names = append(names, re.Name)
+	}
+	return names, nil
+}
+
+// Close releases the client: the default transport's idle connections are
+// shut down; a caller-supplied http.Client is left untouched.
+func (c *ClusterClient) Close() error {
+	if c.ownedTransport != nil {
+		c.ownedTransport.CloseIdleConnections()
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayJitterBounds: the backoff before attempt i is the
+// exponential base delay plus up to one base-delay unit of jitter —
+// d in [base<<i, 2*(base<<i)) — never less (no thundering retry storms
+// faster than the schedule) and never doubling past the next tier.
+func TestRetryDelayJitterBounds(t *testing.T) {
+	for attempt := 0; attempt < 4; attempt++ {
+		lo := retryBaseDelay << attempt
+		hi := 2 * lo
+		var min, max time.Duration = hi, 0
+		for i := 0; i < 500; i++ {
+			d := retryDelay(attempt)
+			if d < lo || d >= hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, lo, hi)
+			}
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		// 500 draws across a base-delay-wide window: seeing no spread at
+		// all means the jitter term is gone.
+		if min == max {
+			t.Fatalf("attempt %d: 500 draws all returned %v — no jitter", attempt, min)
+		}
+	}
+}

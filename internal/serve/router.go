@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"log"
+	"net/http"
+	"time"
+)
+
+// Middleware wraps a handler with cross-cutting behavior. The router
+// applies its chain outermost-first, so the first middleware installed sees
+// the request first and the response last — the conventional onion.
+//
+// The serving tier grew past the point where a bare ServeMux scales:
+// counters were hand-rolled into ServeHTTP, and every new endpoint
+// (/cluster today; auth and per-tenant accounting on the roadmap) would
+// have re-threaded them. The router centralizes that: endpoints register
+// plain handlers, and metrics/logging/auth compose around the mux once.
+type Middleware func(http.Handler) http.Handler
+
+// router is a ServeMux with a middleware chain baked around it at build
+// time (the chain is fixed once use() calls stop, so ServeHTTP does no
+// per-request composition).
+type router struct {
+	mux     *http.ServeMux
+	handler http.Handler
+	chain   []Middleware
+}
+
+func newRouter(mw ...Middleware) *router {
+	rt := &router{mux: http.NewServeMux(), chain: mw}
+	h := http.Handler(rt.mux)
+	for i := len(rt.chain) - 1; i >= 0; i-- {
+		h = rt.chain[i](h)
+	}
+	rt.handler = h
+	return rt
+}
+
+// handle registers a handler for a ServeMux pattern (method-qualified
+// patterns supported as usual).
+func (rt *router) handle(pattern string, h http.HandlerFunc) {
+	rt.mux.HandleFunc(pattern, h)
+}
+
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.handler.ServeHTTP(w, r)
+}
+
+// statusRecorder captures the response code so middleware observes what the
+// endpoint (or the mux's own 404/405) actually wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// metricsMiddleware maintains the server's request counters: every request,
+// every 4xx/5xx, and — fleet mode — every request a client marked as a
+// hedge (the X-Pcr-Hedge header), so /varz shows hedged load landing on
+// replicas.
+func (s *Server) metricsMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if r.Header.Get(hedgeHeader) != "" {
+			s.hedgedRequests.Add(1)
+		}
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		if sr.code >= 400 {
+			s.errors.Add(1)
+		}
+	})
+}
+
+// loggingMiddleware logs one line per request (method, path, status,
+// duration). Off by default; enabled by Options.LogRequests for debugging a
+// fleet member without a proxy in front.
+func loggingMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		log.Printf("serve: %s %s -> %d (%v)", r.Method, r.URL.RequestURI(), sr.code, time.Since(start).Round(time.Microsecond))
+	})
+}

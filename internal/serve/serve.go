@@ -49,6 +49,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,12 +57,46 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/diskcache"
 )
+
+// hedgeHeader marks a request a cluster client fired as a hedge against a
+// slow owner; the receiving replica counts it (Stats.HedgedRequests), so
+// /varz shows hedged load landing where it was re-aimed.
+const hedgeHeader = "X-Pcr-Hedge"
+
+// ownerHeader carries the owning member's URL on a 421 Misdirected
+// Request, so a client with a stale ring learns where to go without a
+// second membership round-trip.
+const ownerHeader = "X-Pcr-Owner"
+
+// ClusterConfig makes a Server one member of a sharded, replicated fleet:
+// it serves — and admits requests for — only the records the fleet's
+// consistent-hash ring places on it (as owner or replica), publishes the
+// membership at /cluster, and answers requests for anything else with 421
+// Misdirected Request plus the owner's URL. All members must be configured
+// with the same member set (Self ∪ Peers) and Replication; ring
+// determinism (internal/cluster) then guarantees they agree on placement
+// without talking to each other.
+type ClusterConfig struct {
+	// Self is this server's own member URL as clients reach it
+	// (e.g. "http://10.0.0.7:8100"). It is implicitly a member.
+	Self string
+	// Peers are the other members' URLs.
+	Peers []string
+	// Replication is the replica count per record, owner included
+	// (default 1: ownership only, no redundancy).
+	Replication int
+	// VirtualNodes overrides the ring's virtual-node count per member
+	// (default cluster.DefaultVirtualNodes).
+	VirtualNodes int
+}
 
 // Options configure a Server.
 type Options struct {
@@ -69,6 +104,12 @@ type Options struct {
 	// prefixes. Zero disables the cache: every request reads through to
 	// the backing store.
 	CacheBytes int64
+	// Cluster, when set, runs the server as one member of a serving
+	// fleet; see ClusterConfig. Nil serves the whole dataset standalone.
+	Cluster *ClusterConfig
+	// LogRequests logs one line per request (method, path, status,
+	// duration) — debugging aid for a fleet member.
+	LogRequests bool
 	// DiskCacheDir mounts a persistent prefix cache (internal/diskcache)
 	// under the memory LRU: record bytes evicted from memory are still one
 	// local read away instead of one backing-store read away — the second
@@ -102,6 +143,18 @@ type Stats struct {
 	// cache enabled this lags BytesServed on re-reads — the serving-side
 	// analogue of the paper's cache-pressure reduction).
 	BytesRead int64 `json:"bytes_read"`
+	// HedgedRequests counts requests that arrived marked as client
+	// hedges (the X-Pcr-Hedge header): tail-latency re-aims that landed
+	// on this member.
+	HedgedRequests int64 `json:"hedged_requests"`
+	// Misdirected counts record requests refused with 421 because the
+	// ring places the record on other members (fleet mode only).
+	Misdirected int64 `json:"misdirected"`
+	// ReplicaPulls and ReplicaPullBytes count replica warm-up reads
+	// served by the records' owners during SyncReplicas (fleet mode
+	// only).
+	ReplicaPulls     int64 `json:"replica_pulls"`
+	ReplicaPullBytes int64 `json:"replica_pull_bytes"`
 	// Cache are the hot-prefix cache's counters (zero when disabled).
 	Cache cache.Stats `json:"cache"`
 	// DiskCache are the persistent disk tier's counters (zero when
@@ -114,7 +167,7 @@ type Stats struct {
 type Server struct {
 	ds      *core.Dataset
 	ownsDS  bool
-	mux     *http.ServeMux
+	router  *router
 	byName  map[string]int
 	records []core.RecordInfo
 
@@ -125,12 +178,32 @@ type Server struct {
 	cache *cache.Cache
 	disk  *diskcache.Backend
 
-	requests      atomic.Int64
-	rangeRequests atomic.Int64
-	notModified   atomic.Int64
-	errors        atomic.Int64
-	bytesServed   atomic.Int64
-	bytesRead     atomic.Int64
+	// Fleet state (nil/empty standalone): the placement ring, this
+	// member's identity, and the per-record verdicts derived from them.
+	ring        *cluster.Ring
+	self        string
+	replication int
+	serves      []bool   // ring places record i on this member
+	owner       []string // owning member URL of record i
+	clusterJSON []byte
+	clusterETag string
+
+	// pullOwner maps a record index to its owner's URL while SyncReplicas
+	// is warming that record, rerouting the cache's backing fetch from
+	// the store to the owner.
+	pullMu    sync.Mutex
+	pullOwner map[int]string
+
+	requests         atomic.Int64
+	rangeRequests    atomic.Int64
+	notModified      atomic.Int64
+	errors           atomic.Int64
+	bytesServed      atomic.Int64
+	bytesRead        atomic.Int64
+	hedgedRequests   atomic.Int64
+	misdirected      atomic.Int64
+	replicaPulls     atomic.Int64
+	replicaPullBytes atomic.Int64
 }
 
 // New opens the PCR dataset directory at dir and serves it. Close releases
@@ -208,15 +281,72 @@ func NewFromDataset(ds *core.Dataset, opts *Options) (*Server, error) {
 		}
 		s.cache = c
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /index", s.handleIndex)
-	mux.HandleFunc("GET /records/{name}", s.handleRecord)
-	mux.HandleFunc("GET /varz", s.handleVarz)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	if o.Cluster != nil {
+		if err := s.initCluster(o.Cluster); err != nil {
+			return nil, err
+		}
+	}
+	mw := []Middleware{s.metricsMiddleware}
+	if o.LogRequests {
+		mw = append(mw, loggingMiddleware)
+	}
+	rt := newRouter(mw...)
+	rt.handle("GET /index", s.handleIndex)
+	rt.handle("GET /records/{name}", s.handleRecord)
+	rt.handle("GET /cluster", s.handleCluster)
+	rt.handle("GET /varz", s.handleVarz)
+	rt.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	s.mux = mux
+	s.router = rt
 	return s, nil
+}
+
+// initCluster resolves this member's slice of the fleet: the ring over
+// Self ∪ Peers, the per-record serve/refuse verdicts, and the frozen
+// /cluster document.
+func (s *Server) initCluster(cc *ClusterConfig) error {
+	if cc.Self == "" {
+		return fmt.Errorf("serve: cluster config needs Self (this member's URL)")
+	}
+	members := append([]string{cc.Self}, cc.Peers...)
+	ring, err := cluster.New(members, cc.VirtualNodes)
+	if err != nil {
+		return err
+	}
+	repl := cc.Replication
+	if repl <= 0 {
+		repl = 1
+	}
+	if repl > len(ring.Members()) {
+		return fmt.Errorf("serve: replication %d exceeds the %d-member fleet", repl, len(ring.Members()))
+	}
+	s.ring, s.self, s.replication = ring, cc.Self, repl
+	s.serves = make([]bool, len(s.records))
+	s.owner = make([]string, len(s.records))
+	for i, re := range s.records {
+		reps := ring.Replicas(re.Name, repl)
+		s.owner[i] = reps[0]
+		for _, m := range reps {
+			if m == cc.Self {
+				s.serves[i] = true
+				break
+			}
+		}
+	}
+	info := cluster.Info{
+		Members:     ring.Members(),
+		Replication: repl,
+		Self:        cc.Self,
+		Epoch:       cluster.Epoch(ring.Members(), repl),
+	}
+	data, err := json.Marshal(info)
+	if err != nil {
+		return fmt.Errorf("serve: encoding cluster info: %w", err)
+	}
+	s.clusterJSON = data
+	s.clusterETag = fmt.Sprintf("%q", "cl-"+info.Epoch)
+	return nil
 }
 
 // Close releases the dataset when the server owns it (constructed with New).
@@ -230,12 +360,16 @@ func (s *Server) Close() error {
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:      s.requests.Load(),
-		RangeRequests: s.rangeRequests.Load(),
-		NotModified:   s.notModified.Load(),
-		Errors:        s.errors.Load(),
-		BytesServed:   s.bytesServed.Load(),
-		BytesRead:     s.bytesRead.Load(),
+		Requests:         s.requests.Load(),
+		RangeRequests:    s.rangeRequests.Load(),
+		NotModified:      s.notModified.Load(),
+		Errors:           s.errors.Load(),
+		BytesServed:      s.bytesServed.Load(),
+		BytesRead:        s.bytesRead.Load(),
+		HedgedRequests:   s.hedgedRequests.Load(),
+		Misdirected:      s.misdirected.Load(),
+		ReplicaPulls:     s.replicaPulls.Load(),
+		ReplicaPullBytes: s.replicaPullBytes.Load(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
@@ -246,27 +380,12 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// statusRecorder captures the response code so every 4xx/5xx — including
+// ServeHTTP implements http.Handler: the middleware chain (metrics always;
+// logging when enabled) around the endpoint mux. Every 4xx/5xx — including
 // the mux's own 404/405 for unknown paths and methods — lands in the
-// Errors counter.
-type statusRecorder struct {
-	http.ResponseWriter
-	code int
-}
-
-func (sr *statusRecorder) WriteHeader(code int) {
-	sr.code = code
-	sr.ResponseWriter.WriteHeader(code)
-}
-
-// ServeHTTP implements http.Handler.
+// Errors counter via the metrics middleware.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-	s.mux.ServeHTTP(sr, r)
-	if sr.code >= 400 {
-		s.errors.Add(1)
-	}
+	s.router.ServeHTTP(w, r)
 }
 
 // fail writes an error status (counted by ServeHTTP's status recorder).
@@ -330,6 +449,48 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// handleCluster serves the fleet membership (cluster.Info): member list,
+// replication factor, this member's identity, and the placement epoch,
+// with an ETag derived from the epoch so clients poll with If-None-Match
+// and rebuild their ring only when membership actually moves. A standalone
+// server (no ClusterConfig) synthesizes a single-member fleet from the URL
+// the client reached it at — so a cluster-aware client speaks one protocol
+// to any server, fleet or not.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	body, etag := s.clusterJSON, s.clusterETag
+	if s.ring == nil {
+		scheme := "http"
+		if r.TLS != nil {
+			scheme = "https"
+		}
+		self := scheme + "://" + r.Host
+		info := cluster.Info{
+			Members:     []string{self},
+			Replication: 1,
+			Self:        self,
+			Epoch:       cluster.Epoch([]string{self}, 1),
+		}
+		var err error
+		if body, err = json.Marshal(info); err != nil {
+			s.fail(w, http.StatusInternalServerError, "serve: %v", err)
+			return
+		}
+		etag = fmt.Sprintf("%q", "cl-"+info.Epoch)
+	}
+	w.Header().Set("ETag", etag)
+	if ifNoneMatch(r, etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(body)
+}
+
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -344,6 +505,17 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	rec, ok := s.byName[name]
 	if !ok {
 		s.fail(w, http.StatusNotFound, "serve: no record %q", name)
+		return
+	}
+	// Fleet mode: refuse records the ring places elsewhere. 421 (not 404)
+	// tells a routing client its ring is stale rather than the record
+	// missing, and the owner header points it at the right member without
+	// a membership round-trip.
+	if s.ring != nil && !s.serves[rec] {
+		s.misdirected.Add(1)
+		w.Header().Set(ownerHeader, s.owner[rec])
+		s.fail(w, http.StatusMisdirectedRequest,
+			"serve: record %q belongs to %s (this member is %s)", name, s.owner[rec], s.self)
 		return
 	}
 	re := &s.records[rec]
@@ -432,13 +604,86 @@ func (s *Server) readRange(rec int, start, length int64) ([]byte, error) {
 }
 
 // fetchRange is the hot cache's backing fetcher, counted as backing-store
-// reads.
+// reads. While SyncReplicas is warming a replicated record, the fetch is
+// rerouted to the record's owner over HTTP (falling back to the backing
+// store if the owner is unreachable), so a replica fills from the member
+// that most likely has the bytes hot instead of hammering cold storage.
 func (s *Server) fetchRange(rec int, offset, length int64) ([]byte, error) {
+	if owner := s.pullTarget(rec); owner != "" {
+		data, err := s.pullFromOwner(owner, rec, offset, length)
+		if err == nil {
+			return data, nil
+		}
+	}
 	data, err := s.ds.ReadRecordRange(rec, offset, length)
 	if err == nil {
 		s.bytesRead.Add(int64(len(data)))
 	}
 	return data, err
+}
+
+func (s *Server) pullTarget(rec int) string {
+	s.pullMu.Lock()
+	defer s.pullMu.Unlock()
+	return s.pullOwner[rec]
+}
+
+func (s *Server) pullFromOwner(owner string, rec int, offset, length int64) ([]byte, error) {
+	c, err := NewClient(owner, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	data, err := c.ReadRange(s.records[rec].Name, offset, length)
+	if err != nil {
+		return nil, err
+	}
+	s.replicaPulls.Add(1)
+	s.replicaPullBytes.Add(int64(len(data)))
+	return data, nil
+}
+
+// SyncReplicas warms this member's hot cache with every record the ring
+// assigns it as a non-owning replica, pulling the bytes from each record's
+// owner over HTTP — the fleet's replication-on-sync step. The owner has
+// (or will then have) the record hot, so a rolling restart re-warms
+// replicas peer-to-peer instead of stampeding the backing store; an
+// unreachable owner silently degrades to a backing-store read. Requires
+// the hot cache (Options.CacheBytes) and fleet mode; otherwise a no-op.
+// Best-effort: the first error cancels nothing, and the method reports how
+// many records were warmed.
+func (s *Server) SyncReplicas(ctx context.Context) (warmed int, err error) {
+	if s.ring == nil || s.cache == nil {
+		return 0, nil
+	}
+	var firstErr error
+	for rec := range s.records {
+		if !s.serves[rec] || s.owner[rec] == s.self {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return warmed, err
+		}
+		size := s.records[rec].Prefixes[len(s.records[rec].Prefixes)-1]
+		s.pullMu.Lock()
+		if s.pullOwner == nil {
+			s.pullOwner = make(map[int]string)
+		}
+		s.pullOwner[rec] = s.owner[rec]
+		s.pullMu.Unlock()
+		_, gerr := s.cache.Get(rec, size)
+		s.pullMu.Lock()
+		delete(s.pullOwner, rec)
+		s.pullMu.Unlock()
+		if gerr != nil {
+			if firstErr == nil {
+				firstErr = gerr
+			}
+			continue
+		}
+		warmed++
+	}
+	return warmed, firstErr
 }
 
 // ifNoneMatch reports whether the request's If-None-Match header matches

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/diskcache"
+	"repro/internal/serve"
 )
 
 // CacheStats snapshots the prefix cache's counters (see WithCacheBytes).
@@ -24,9 +25,12 @@ type DiskCacheStats = diskcache.Stats
 // scan in flight when Close runs observes the close at a sample boundary
 // and terminates with ErrClosed (it never yields partial or corrupt data).
 type Dataset struct {
-	r      formatReader
-	cfg    *config
-	closed atomic.Bool
+	r   formatReader
+	cfg *config
+	// cluster is the fleet-aware client of a remote dataset (nil for
+	// local datasets), kept for ClusterStats.
+	cluster *serve.ClusterClient
+	closed  atomic.Bool
 }
 
 // Open opens the dataset at dir. The Format option must match the layout on
@@ -41,6 +45,9 @@ func Open(dir string, opts ...Option) (*Dataset, error) {
 	}
 	if cfg.indexShards > 0 {
 		return nil, fmt.Errorf("pcr: WithIndexShard applies to OpenRemote; shard a local dataset with the loader's WithShard")
+	}
+	if cfg.hedgeSet {
+		return nil, fmt.Errorf("pcr: WithHedgeDelay applies to OpenRemote; local reads have no replicas to hedge against")
 	}
 	r, err := cfg.format.open(dir, cfg)
 	if err != nil {
@@ -340,6 +347,16 @@ func (d *Dataset) CacheStats() (stats CacheStats, ok bool) {
 		return ra.cacheStats()
 	}
 	return CacheStats{}, false
+}
+
+// ClusterStats reports the remote client's fleet counters — hedged reads,
+// hedge wins, failovers, and membership refreshes. ok is false for local
+// datasets.
+func (d *Dataset) ClusterStats() (stats ClusterStats, ok bool) {
+	if d.cluster == nil {
+		return ClusterStats{}, false
+	}
+	return d.cluster.Stats(), true
 }
 
 // diskCacheAccessor is implemented by readers carrying a persistent disk

@@ -1,6 +1,9 @@
 package pcr
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // config is the resolved option set shared by Create and Open.
 type config struct {
@@ -15,6 +18,8 @@ type config struct {
 	diskCacheLazy   bool
 	indexShard      int
 	indexShards     int // 0 = whole index
+	hedgeDelay      time.Duration
+	hedgeSet        bool
 }
 
 func defaultConfig() *config {
@@ -146,6 +151,22 @@ func WithIndexShard(index, count int) Option {
 			return fmt.Errorf("pcr: index shard %d out of range [0,%d)", index, count)
 		}
 		c.indexShard, c.indexShards = index, count
+		return nil
+	}
+}
+
+// WithHedgeDelay tunes the remote client's tail-latency hedging: a record
+// read whose first attempt has been in flight longer than
+// max(floor, p99-derived delay) is re-sent to the record's next replica,
+// and the first response wins. floor raises (or, at zero, keeps) the
+// default 25ms minimum delay; a negative floor disables hedging entirely —
+// reads then rely on error-driven failover alone, which keeps server byte
+// counters exact (no redundant requests ever land). Only meaningful
+// against a replicated fleet; OpenRemote only.
+func WithHedgeDelay(floor time.Duration) Option {
+	return func(c *config) error {
+		c.hedgeDelay = floor
+		c.hedgeSet = true
 		return nil
 	}
 }

@@ -2,25 +2,37 @@ package pcr
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/serve"
 )
 
-// OpenRemote opens a PCR dataset served by a pcrserved prefix server (see
-// cmd/pcrserved and internal/serve). The returned Dataset behaves exactly
-// like a local one: Scan streams at any stored quality, SizeAtQuality
-// prices a scan from the index without network reads of record bytes, and
-// — with WithCacheBytes — a re-scan at a higher quality fetches only the
-// delta bytes of each record over the wire, the paper's §5 cache property
-// running across the network.
+// ClusterStats snapshots the fleet counters of a remote dataset's
+// cluster-aware client (see Dataset.ClusterStats).
+type ClusterStats = serve.ClusterStats
+
+// OpenRemote opens a PCR dataset served by one pcrserved prefix server or
+// a whole serving fleet (see cmd/pcrserved and internal/serve). baseURL is
+// one or more comma-separated seed URLs — any fleet member works as a
+// seed; the full membership comes from its /cluster endpoint, and every
+// record read is routed to the record's owner on the fleet's
+// consistent-hash ring, hedged against a replica when the owner is slow,
+// and failed over to surviving replicas when a member dies. The returned
+// Dataset behaves exactly like a local one: Scan streams at any stored
+// quality, SizeAtQuality prices a scan from the index without network
+// reads of record bytes, and — with WithCacheBytes — a re-scan at a higher
+// quality fetches only the delta bytes of each record over the wire, the
+// paper's §5 cache property running across the network (and across a
+// server kill: the delta read simply lands on a surviving replica).
 //
-// Two options change what "remote" costs. WithIndexShard makes this worker
-// download only its stride partition of the index (and see a dataset whose
-// records are exactly its shard — drive it with a default, unsharded
-// Loader). WithDiskCache mounts a persistent local prefix cache under the
-// read path, so a restarted worker re-reads warm local bytes instead of
-// the network, and a later quality upgrade moves only the delta bytes.
+// Three options change what "remote" costs. WithIndexShard makes this
+// worker download only its stride partition of the index (and see a
+// dataset whose records are exactly its shard — drive it with a default,
+// unsharded Loader). WithDiskCache mounts a persistent local prefix cache
+// under the read path, so a restarted worker re-reads warm local bytes
+// instead of the network, and a later quality upgrade moves only the delta
+// bytes. WithHedgeDelay tunes (or disables) the tail-latency hedging.
 //
 // Remote serving is specific to the PCR layout (its whole point is prefix
 // ranges), so WithFormat selecting a baseline format is an error.
@@ -32,9 +44,21 @@ func OpenRemote(baseURL string, opts ...Option) (*Dataset, error) {
 	if cfg.format != PCR {
 		return nil, fmt.Errorf("pcr: remote serving supports the pcr format only, not %s", cfg.format.Name())
 	}
-	client, err := serve.NewClient(baseURL, nil)
+	var seeds []string
+	for _, s := range strings.Split(baseURL, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seeds = append(seeds, s)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("pcr: no server URL in %q", baseURL)
+	}
+	client, err := serve.NewClusterClient(seeds, nil)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.hedgeSet {
+		client.SetHedgeDelay(cfg.hedgeDelay)
 	}
 	if cfg.indexShards > 0 {
 		if err := client.SetShard(cfg.indexShard, cfg.indexShards); err != nil {
@@ -57,5 +81,5 @@ func OpenRemote(baseURL string, opts ...Option) (*Dataset, error) {
 		ds.Close()
 		return nil, err
 	}
-	return &Dataset{r: r, cfg: cfg}, nil
+	return &Dataset{r: r, cfg: cfg, cluster: client}, nil
 }
