@@ -6,7 +6,7 @@
 //
 //	pcr synth   -dataset cars -out DIR [-format pcr] [-scale 0.5] [-seed 42] [-per-record 32] [-scan-groups N] [-baseline DIR]
 //	pcr encode  -from DIR -out DIR [-format pcr] [-per-record 32] [-scan-groups N]
-//	pcr inspect -dataset DIR [-format pcr]
+//	pcr inspect -dataset DIR [-format pcr] [-filter "label IN (3, 7)"]
 //	pcr decode  -dataset DIR -record N -quality Q -out DIR
 //
 // `synth` generates one of the paper's synthetic dataset profiles and
@@ -57,7 +57,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pcr <synth|encode|inspect|decode> [flags]
   synth   -dataset NAME -out DIR [-format pcr|tfrecord|fileperimage] [-scale F] [-seed N] [-per-record N] [-scan-groups N] [-baseline DIR]
   encode  -from DIR -out DIR [-format pcr|tfrecord|fileperimage] [-per-record N] [-scan-groups N]
-  inspect -dataset DIR [-format pcr|tfrecord|fileperimage]
+  inspect -dataset DIR [-format pcr|tfrecord|fileperimage] [-filter EXPR]
   decode  -dataset DIR -record N -quality Q -out DIR`)
 }
 
@@ -174,6 +174,7 @@ func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	dir := fs.String("dataset", "", "dataset directory")
 	format := formatFlag(fs)
+	filter := fs.String("filter", "", `plan a predicate pushdown, e.g. "label IN (3, 7) AND id >= 100" (pcr format only)`)
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("inspect: -dataset is required")
@@ -199,6 +200,25 @@ func cmdInspect(args []string) error {
 			return err
 		}
 		fmt.Printf("  quality %2d: %12d bytes (%.1f%% of full)\n", q, size, 100*float64(size)/float64(fullSize))
+	}
+	if *filter != "" {
+		if ds.Format() != pcr.PCR {
+			return fmt.Errorf("inspect: -filter requires the pcr format")
+		}
+		pred, err := pcr.ParseFilter(*filter)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("filter: %s\n", pred)
+		for q := 1; q <= ds.Qualities(); q++ {
+			plan, err := ds.PlanFilter(pred, q)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  quality %2d: %d/%d samples, %d/%d records skipped whole, %d of %d bytes (%.1f%%)\n",
+				q, plan.Selected, plan.Total, plan.RecordsSkipped, plan.Records,
+				plan.Bytes, plan.FullBytes, 100*float64(plan.Bytes)/float64(plan.FullBytes))
+		}
 	}
 	if ds.Format() != pcr.PCR {
 		return nil

@@ -19,6 +19,14 @@
 // (possibly remote) upstream, later epochs read it back locally, and a
 // final summary prints both rows side by side.
 //
+// -filter restricts the benchmark to the samples a predicate expression
+// selects (e.g. "label IN (3, 7)"), measuring the queryable-dataset path:
+// records with no match are skipped without a read, partial matches are
+// fetched as sparse ranges (pushed down to the server on remote runs), and
+// the bytes/img column prices the subset. Records mode measures the
+// filtered streaming scan; with -loader the filter rides the batch
+// pipeline.
+//
 // -json additionally writes the table as machine-readable
 // BENCH_records.json or BENCH_loader.json in the working directory —
 // images/s, bytes/img, and p50/p99 stall per row — for dashboards and
@@ -53,6 +61,7 @@ func main() {
 	diskDir := flag.String("disk-cache-dir", "", "persistent prefix cache directory (enables the cold-vs-warm comparison)")
 	diskMB := flag.Int64("disk-cache-mb", 1024, "persistent prefix cache budget in MiB")
 	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_records.json / BENCH_loader.json")
+	filter := flag.String("filter", "", `restrict to matching samples, e.g. "label IN (3, 7)" (pcr format only)`)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "pcrbench: -dataset is required")
@@ -62,6 +71,7 @@ func main() {
 		dir: *dir, format: *formatName, workers: *workers, passes: *passes,
 		decode: *decode, cacheMB: *cacheMB, loader: *loaderMode, batch: *batch,
 		quality: *quality, diskDir: *diskDir, diskMB: *diskMB, json: *jsonOut,
+		filter: *filter,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pcrbench:", err)
@@ -79,6 +89,7 @@ type benchConfig struct {
 	diskDir         string
 	diskMB          int64
 	json            bool
+	filter          string
 }
 
 // benchRow is one table row in machine-readable form. Records-mode rows
@@ -173,12 +184,24 @@ func run(cfg benchConfig) error {
 		return err
 	}
 	defer ds.Close()
+	var pred pcr.Predicate
+	if cfg.filter != "" {
+		if format != pcr.PCR {
+			return fmt.Errorf("-filter requires the pcr format, not %s", formatName)
+		}
+		if pred, err = pcr.ParseFilter(cfg.filter); err != nil {
+			return err
+		}
+	}
 	if cfg.loader {
-		return runLoader(ds, cfg, remote)
+		return runLoader(ds, cfg, remote, pred)
 	}
 	mode := fmt.Sprintf("%d parallel readers", workers)
 	if format != pcr.PCR {
 		mode = fmt.Sprintf("single reader stream, %d decode workers", workers)
+	}
+	if pred != nil {
+		mode = fmt.Sprintf("filtered stream %q, %d decode workers", pred, workers)
 	}
 	if remote {
 		mode += ", remote"
@@ -199,11 +222,15 @@ func run(cfg benchConfig) error {
 		}
 		before, cached := fetchedSoFar()
 		var images int64
+		var fstats pcr.FilterStats
 		stalls := &stallTrack{}
 		start := time.Now()
-		if format == pcr.PCR {
+		switch {
+		case pred != nil:
+			images, fstats, err = benchFiltered(ds, q, passes, decode, pred, stalls)
+		case format == pcr.PCR:
 			images, err = benchRecords(ds, q, workers, passes, decode, stalls)
-		} else {
+		default:
 			images, err = benchStream(ds, q, passes, decode, stalls)
 		}
 		if err != nil {
@@ -220,6 +247,12 @@ func run(cfg benchConfig) error {
 		if cached {
 			after, _ := fetchedSoFar()
 			moved = after - before
+		} else if pred != nil {
+			moved = fstats.BytesRead
+		}
+		if pred != nil {
+			fmt.Printf("         filter q%d: %d selected, %d skipped (%d records whole); %d bytes read, %d avoided\n",
+				q, fstats.Selected, fstats.Skipped, fstats.RecordsSkipped, fstats.BytesRead, fstats.BytesAvoided)
 		}
 		// An empty dataset or a sub-resolution elapsed time would print
 		// NaN/+Inf; degenerate rows show "-" instead.
@@ -267,10 +300,15 @@ func ratio(num, den float64, verb string) string {
 // The upstream column is what actually moved past the disk cache (network
 // bytes for a remote run) — with -disk-cache-dir, epoch 0 is the cold fill
 // and later epochs are warm.
-func runLoader(ds *pcr.Dataset, cfg benchConfig, remote bool) error {
-	l, err := pcr.NewLoader(ds,
+func runLoader(ds *pcr.Dataset, cfg benchConfig, remote bool, pred pcr.Predicate) error {
+	lopts := []pcr.LoaderOption{
 		pcr.WithBatchSize(cfg.batch),
-		pcr.WithQuality(cfg.quality))
+		pcr.WithQuality(cfg.quality),
+	}
+	if pred != nil {
+		lopts = append(lopts, pcr.WithLoaderFilter(pred))
+	}
+	l, err := pcr.NewLoader(ds, lopts...)
 	if err != nil {
 		return err
 	}
@@ -345,6 +383,12 @@ func runLoader(ds *pcr.Dataset, cfg benchConfig, remote bool) error {
 		}
 		rep.Rows = append(rep.Rows, jr)
 	}
+	if pred != nil {
+		if st, ok := l.LastEpochStats(); ok {
+			fmt.Printf("filter %q: last epoch delivered %d images, skipped %d; %.2f MB read, %.2f MB avoided\n",
+				pred, st.Images, st.SkippedImages, float64(st.BytesRead)/1e6, float64(st.BytesAvoided)/1e6)
+		}
+	}
 	if st, ok := ds.DiskCacheStats(); ok && len(rows) >= 2 {
 		cold, warm := rows[0], rows[len(rows)-1]
 		fmt.Printf("\ndisk cache cold vs warm:\n")
@@ -404,6 +448,39 @@ func benchRecords(ds *pcr.Dataset, q, workers, passes int, decode bool, stalls *
 	default:
 	}
 	return images, nil
+}
+
+// benchFiltered measures the queryable-dataset path: one sequential
+// filtered scan per pass (predicate pushdown inside the reader — sparse
+// range reads locally, bitmap pushdown against a server), with Scan's
+// worker pool handling decode when requested. The aggregated FilterStats
+// across all passes report what the filter read and what it avoided.
+func benchFiltered(ds *pcr.Dataset, q, passes int, decode bool, pred pcr.Predicate, stalls *stallTrack) (int64, pcr.FilterStats, error) {
+	ctx := context.Background()
+	var images int64
+	var agg pcr.FilterStats
+	for p := 0; p < passes; p++ {
+		var fs pcr.FilterStats
+		scan := ds.ScanEncoded
+		if decode {
+			scan = ds.Scan
+		}
+		prev := time.Now()
+		for _, err := range scan(ctx, q, pcr.WithFilter(pred), pcr.WithFilterStats(&fs)) {
+			if err != nil {
+				return images, agg, err
+			}
+			images++
+			stalls.add(time.Since(prev))
+			prev = time.Now()
+		}
+		agg.Selected += fs.Selected
+		agg.Skipped += fs.Skipped
+		agg.RecordsSkipped += fs.RecordsSkipped
+		agg.BytesRead += fs.BytesRead
+		agg.BytesAvoided += fs.BytesAvoided
+	}
+	return images, agg, nil
 }
 
 // benchStream measures formats that only stream: one sequential reader,

@@ -119,6 +119,41 @@ func run() error {
 	fmt.Println("\nsame records, same labels — later epochs moved fewer bytes because")
 	fmt.Println("quality is an I/O knob, re-resolved at every record boundary.")
 
+	// Queryable dataset: a predicate over the sample metadata restricts
+	// training to a subset without re-encoding anything. The selection is
+	// planned from the index — records with no matching sample are never
+	// read, partial matches become sparse range reads covering only the
+	// selected samples — so the bytes moved track the subset, not the
+	// dataset (and against OpenRemote the same plan is pushed down to the
+	// server as a bitmap, moving only the selected bytes over the wire).
+	fmt.Println("\n-- filtered epoch: label predicate pushed into the reads --")
+	pred, err := pcr.ParseFilter("label IN (0, 1, 2)")
+	if err != nil {
+		return err
+	}
+	plan, err := ds.PlanFilter(pred, pcr.Full)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan %q: %d of %d samples, %d of %d records skipped whole, %.1f%% of full bytes\n",
+		pred, plan.Selected, plan.Total, plan.RecordsSkipped, plan.Records,
+		100*float64(plan.Bytes)/float64(plan.FullBytes))
+	lf, err := pcr.NewLoader(ds,
+		pcr.WithBatchSize(32),
+		pcr.WithLoaderFilter(pred))
+	if err != nil {
+		return err
+	}
+	for _, err := range lf.Epoch(context.Background(), 0) {
+		if err != nil {
+			return err
+		}
+	}
+	if st, ok := lf.LastEpochStats(); ok {
+		fmt.Printf("epoch: %d images delivered, %d filtered out; %.2f MB read, %.2f MB avoided\n",
+			st.Images, st.SkippedImages, float64(st.BytesRead)/1e6, float64(st.BytesAvoided)/1e6)
+	}
+
 	// Warm restart: the first life trains with a persistent disk cache and
 	// checkpoints after every batch; we stop it mid-epoch, as a crash
 	// would. The second life mounts the same cache directory, resumes from

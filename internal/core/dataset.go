@@ -18,6 +18,11 @@ type DatasetOptions struct {
 	// ScanGroups, when positive, coalesces progressive scans into that many
 	// scan groups per record (see RecordOptions.ScanGroups).
 	ScanGroups int
+	// OmitSampleIndex skips writing the sample-offset side index, producing
+	// a dataset laid out exactly as before the side index existed. Readers
+	// of such datasets fall back to whole-prefix reads plus client-side
+	// filtering; this exists to exercise that compatibility path.
+	OmitSampleIndex bool
 }
 
 func (o *DatasetOptions) imagesPerRecord() int {
@@ -89,7 +94,10 @@ func (w *DatasetWriter) flush() error {
 		return fmt.Errorf("core: %w", err)
 	}
 
-	// Record index entry: file name, sample count, prefix length per group.
+	// Record index entry: file name, sample count, prefix length per group,
+	// and (unless suppressed) the sample-offset side index — per-sample IDs,
+	// labels, and sample-major flattened scan-group lengths. Old readers
+	// skip the unknown fields; old datasets simply lack them.
 	enc := wire.NewEncoder(nil)
 	enc.String(1, name)
 	enc.Uint64(2, uint64(len(w.pending)))
@@ -102,6 +110,22 @@ func (w *DatasetWriter) flush() error {
 		prefixes[g] = uint64(n)
 	}
 	enc.PackedUint64(3, prefixes)
+	if !w.opts.OmitSampleIndex {
+		ids := make([]uint64, len(meta.Samples))
+		labels := make([]uint64, len(meta.Samples))
+		lens := make([]uint64, 0, len(meta.Samples)*meta.NumGroups)
+		for i := range meta.Samples {
+			s := &meta.Samples[i]
+			ids[i] = uint64(s.ID)
+			labels[i] = uint64(s.Label)
+			for g := 0; g < meta.NumGroups; g++ {
+				lens = append(lens, uint64(s.GroupLens[g]))
+			}
+		}
+		enc.PackedUint64(4, ids)
+		enc.PackedUint64(5, labels)
+		enc.PackedUint64(6, lens)
+	}
 	if err := w.db.Put([]byte(fmt.Sprintf("record/%05d", w.nrec)), enc.Encode()); err != nil {
 		return err
 	}
@@ -152,6 +176,13 @@ type recordEntry struct {
 	name     string
 	samples  int
 	prefixes []int64 // indexed by scan group, 0..NumGroups
+
+	// Sample-offset side index (optional; nil on datasets written before it
+	// existed). sampleLens is sample-major flattened:
+	// sampleLens[i*numGroups+(g-1)] is sample i's slice length in group g.
+	sampleIDs    []int64
+	sampleLabels []int64
+	sampleLens   []int64
 }
 
 // OpenDataset opens a PCR dataset directory created by DatasetWriter.
@@ -231,13 +262,14 @@ func parseRecordEntry(raw []byte) (recordEntry, error) {
 				return re, err
 			}
 			re.samples = int(v)
-		case 3:
+		case 3, 4, 5, 6:
 			vs, err := d.PackedUint64()
 			if err != nil {
 				return re, err
 			}
+			dst := map[int]*[]int64{3: &re.prefixes, 4: &re.sampleIDs, 5: &re.sampleLabels, 6: &re.sampleLens}[field]
 			for _, v := range vs {
-				re.prefixes = append(re.prefixes, int64(v))
+				*dst = append(*dst, int64(v))
 			}
 		default:
 			if err := d.Skip(wtype); err != nil {
@@ -247,6 +279,9 @@ func parseRecordEntry(raw []byte) (recordEntry, error) {
 	}
 	if re.name == "" || len(re.prefixes) == 0 {
 		return re, fmt.Errorf("core: malformed record entry")
+	}
+	if err := validateSampleIndex(re.samples, re.prefixes, re.sampleIDs, re.sampleLabels, re.sampleLens); err != nil {
+		return re, fmt.Errorf("core: record entry %s: %w", re.name, err)
 	}
 	return re, nil
 }

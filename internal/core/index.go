@@ -33,6 +33,18 @@ type RecordInfo struct {
 	// group g; Prefixes[0] covers metadata only and the last element is
 	// the whole record file.
 	Prefixes []int64 `json:"prefixes"`
+
+	// Sample-offset side index (optional — absent on datasets written
+	// before it existed, so old indexes parse unchanged). SampleIDs and
+	// SampleLabels list the per-sample identity in storage order;
+	// SampleGroupLens is sample-major flattened,
+	// SampleGroupLens[i*numGroups+(g-1)] being sample i's byte length
+	// within scan group g. Together with Prefixes these let any reader
+	// compute the exact byte ranges of a sample subset at any quality
+	// (SampleRanges) without touching the record file.
+	SampleIDs       []int64 `json:"sample_ids,omitempty"`
+	SampleLabels    []int64 `json:"sample_labels,omitempty"`
+	SampleGroupLens []int64 `json:"sample_group_lens,omitempty"`
 }
 
 // EncodeIndex serializes the index as JSON (the serving layer's wire form).
@@ -63,6 +75,9 @@ func ParseIndex(data []byte) (*Index, error) {
 				return nil, fmt.Errorf("core: %w: index record %d prefix lengths not monotone", ErrCorrupt, i)
 			}
 		}
+		if err := validateSampleIndex(re.Samples, re.Prefixes, re.SampleIDs, re.SampleLabels, re.SampleGroupLens); err != nil {
+			return nil, fmt.Errorf("core: index record %d: %w", i, err)
+		}
 	}
 	return &ix, nil
 }
@@ -89,9 +104,12 @@ func (ds *Dataset) Index() *Index {
 	for i := range ds.records {
 		re := &ds.records[i]
 		ix.Records = append(ix.Records, RecordInfo{
-			Name:     re.name,
-			Samples:  re.samples,
-			Prefixes: re.prefixes,
+			Name:            re.name,
+			Samples:         re.samples,
+			Prefixes:        re.prefixes,
+			SampleIDs:       re.sampleIDs,
+			SampleLabels:    re.sampleLabels,
+			SampleGroupLens: re.sampleLens,
 		})
 	}
 	return ix
@@ -118,10 +136,16 @@ func OpenDatasetIndex(ix *Index, b Backend) (*Dataset, error) {
 		if re.Name == "" || len(re.Prefixes) == 0 {
 			return nil, fmt.Errorf("core: malformed record entry")
 		}
+		if err := validateSampleIndex(re.Samples, re.Prefixes, re.SampleIDs, re.SampleLabels, re.SampleGroupLens); err != nil {
+			return nil, fmt.Errorf("core: record %s: %w", re.Name, err)
+		}
 		ds.records = append(ds.records, recordEntry{
-			name:     re.Name,
-			samples:  re.Samples,
-			prefixes: re.Prefixes,
+			name:         re.Name,
+			samples:      re.Samples,
+			prefixes:     re.Prefixes,
+			sampleIDs:    re.SampleIDs,
+			sampleLabels: re.SampleLabels,
+			sampleLens:   re.SampleGroupLens,
 		})
 	}
 	return ds, nil

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// buildIndexedDataset writes a small dataset (with the sample side index
+// unless omit) and returns the open dataset plus the original samples.
+func buildIndexedDataset(t *testing.T, omit bool) (*Dataset, []Sample) {
+	t.Helper()
+	dir := t.TempDir()
+	samples := buildSamples(t, 10)
+	w, err := CreateDataset(dir, &DatasetOptions{ImagesPerRecord: 4, OmitSampleIndex: omit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if err := w.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	return ds, samples
+}
+
+func TestSampleIndexRoundTrip(t *testing.T) {
+	ds, samples := buildIndexedDataset(t, false)
+	si := 0
+	for r := 0; r < ds.NumRecords(); r++ {
+		if !ds.HasSampleIndex(r) {
+			t.Fatalf("record %d: no sample index", r)
+		}
+		ids, labels, err := ds.SampleIndex(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := ds.RecordSamples(r)
+		if len(ids) != n || len(labels) != n {
+			t.Fatalf("record %d: %d ids, %d labels, want %d", r, len(ids), len(labels), n)
+		}
+		for i := 0; i < n; i++ {
+			if ids[i] != samples[si].ID || labels[i] != samples[si].Label {
+				t.Errorf("record %d sample %d: (%d,%d), want (%d,%d)",
+					r, i, ids[i], labels[i], samples[si].ID, samples[si].Label)
+			}
+			si++
+		}
+	}
+}
+
+// An all-selected range plan must coalesce to exactly the prefix read the
+// unfiltered path would issue, at every quality level.
+func TestSampleRangesAllSelectedIsThePrefix(t *testing.T) {
+	ds, _ := buildIndexedDataset(t, false)
+	for r := 0; r < ds.NumRecords(); r++ {
+		n, _ := ds.RecordSamples(r)
+		sel := make([]bool, n)
+		for i := range sel {
+			sel[i] = true
+		}
+		for g := 1; g <= ds.NumGroups; g++ {
+			ranges, err := ds.SampleRanges(r, g, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ds.RecordPrefixLen(r, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ranges) != 1 || ranges[0].Offset != 0 || ranges[0].Length != want {
+				t.Fatalf("record %d group %d: ranges %v, want one [0,%d)", r, g, ranges, want)
+			}
+		}
+	}
+}
+
+// A subset plan gathered from the record bytes and scattered back into a
+// sparse prefix must decode every selected sample identically to the full
+// prefix — the byte-level property the filtered read path stands on.
+func TestSampleRangesSparseDecode(t *testing.T) {
+	ds, _ := buildIndexedDataset(t, false)
+	r := 0
+	n, _ := ds.RecordSamples(r)
+	sel := make([]bool, n)
+	sel[0], sel[n-1] = true, true
+	for _, g := range []int{1, 5, ds.NumGroups} {
+		full, fullMeta, err := ds.ReadRecordPrefix(r, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges, err := ds.SampleRanges(r, g, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := RangesTotal(ranges)
+		if total >= int64(len(full)) {
+			t.Fatalf("group %d: subset plan %d bytes, full prefix %d", g, total, len(full))
+		}
+		concat, err := GatherRanges(full, ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(concat)) != total {
+			t.Fatalf("group %d: gathered %d bytes, want %d", g, len(concat), total)
+		}
+		sparse, err := ScatterRanges(concat, ranges, int64(len(full)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, err := ParseRecordMeta(sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sel {
+			if !sel[i] {
+				continue
+			}
+			got, err := meta.SampleJPEG(sparse, i, g)
+			if err != nil {
+				t.Fatalf("group %d sample %d: %v", g, i, err)
+			}
+			want, err := fullMeta.SampleJPEG(full, i, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("group %d sample %d: sparse stream differs from full", g, i)
+			}
+		}
+	}
+}
+
+// OmitSampleIndex is the version gate stand-in: a dataset written without
+// the side index must open and read normally while reporting
+// ErrNoSampleIndex for sample-level queries.
+func TestSampleIndexVersionGate(t *testing.T) {
+	ds, _ := buildIndexedDataset(t, true)
+	for r := 0; r < ds.NumRecords(); r++ {
+		if ds.HasSampleIndex(r) {
+			t.Fatalf("record %d: unexpected sample index", r)
+		}
+		if _, _, err := ds.SampleIndex(r); !errors.Is(err, ErrNoSampleIndex) {
+			t.Fatalf("record %d: SampleIndex err = %v, want ErrNoSampleIndex", r, err)
+		}
+		if _, err := ds.SampleRanges(r, 1, make([]bool, 1)); !errors.Is(err, ErrNoSampleIndex) {
+			t.Fatalf("record %d: SampleRanges err = %v, want ErrNoSampleIndex", r, err)
+		}
+		// The ordinary read path is unaffected.
+		if _, err := ds.ReadRecordAt(r, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The exported index carries no side-index fields (old-reader JSON
+	// compatibility: omitempty keeps the wire form identical).
+	data, err := EncodeIndex(ds.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("sample_ids")) {
+		t.Error("omitted side index leaked into the encoded index")
+	}
+}
+
+// The side index survives the JSON wire form: an index exported, encoded,
+// parsed, and mounted over a DirBackend plans the same ranges as the local
+// dataset.
+func TestSampleIndexSurvivesIndexWire(t *testing.T) {
+	dir := t.TempDir()
+	samples := buildSamples(t, 10)
+	w, err := CreateDataset(dir, &DatasetOptions{ImagesPerRecord: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if err := w.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	local, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	data, err := EncodeIndex(local.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ParseIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := OpenDatasetIndex(ix, NewDirBackend(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	sel := []bool{true, false, true, false}
+	for r := 0; r < local.NumRecords(); r++ {
+		n, _ := local.RecordSamples(r)
+		want, err := local.SampleRanges(r, 2, sel[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := remote.SampleRanges(r, 2, sel[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("record %d: %v != %v", r, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: %v != %v", r, got, want)
+			}
+		}
+	}
+}
+
+// Corrupt side indexes must be rejected at parse time, not discovered as
+// bogus reads later.
+func TestParseIndexRejectsCorruptSampleIndex(t *testing.T) {
+	ds, _ := buildIndexedDataset(t, false)
+	base := ds.Index()
+	cases := []struct {
+		name string
+		mut  func(re *RecordInfo)
+	}{
+		{"ids length", func(re *RecordInfo) { re.SampleIDs = re.SampleIDs[:len(re.SampleIDs)-1] }},
+		{"labels length", func(re *RecordInfo) { re.SampleLabels = append(re.SampleLabels, 9) }},
+		{"lens length", func(re *RecordInfo) { re.SampleGroupLens = re.SampleGroupLens[:len(re.SampleGroupLens)-1] }},
+		{"negative len", func(re *RecordInfo) { re.SampleGroupLens[0] = -1 }},
+		{"sum mismatch", func(re *RecordInfo) { re.SampleGroupLens[0]++ }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := &Index{NumGroups: base.NumGroups, NumImages: base.NumImages}
+			for _, re := range base.Records {
+				cp := re
+				cp.SampleIDs = append([]int64(nil), re.SampleIDs...)
+				cp.SampleLabels = append([]int64(nil), re.SampleLabels...)
+				cp.SampleGroupLens = append([]int64(nil), re.SampleGroupLens...)
+				ix.Records = append(ix.Records, cp)
+			}
+			tc.mut(&ix.Records[0])
+			data, err := EncodeIndex(ix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ParseIndex(data); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("ParseIndex err = %v, want ErrCorrupt", err)
+			}
+			if _, err := OpenDatasetIndex(ix, NewDirBackend(t.TempDir())); err == nil {
+				t.Fatal("OpenDatasetIndex accepted a corrupt side index")
+			}
+		})
+	}
+}

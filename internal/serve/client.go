@@ -60,6 +60,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	idx     *core.Index
+	byName  map[string]int // lazy name → idx.Records index (ReadSamples)
 	shard   int
 	nshards int // 0 = whole index
 }
@@ -308,6 +309,118 @@ func (c *Client) readRangeOnce(name string, offset, length int64, hedge bool) (b
 	default:
 		return nil, retryableStatus(resp.StatusCode),
 			fmt.Errorf("serve: reading %s: server returned %s", name, resp.Status)
+	}
+}
+
+// recordInfo resolves a record name against the client's cached index,
+// fetching the index on first use.
+func (c *Client) recordInfo(name string) (*core.RecordInfo, error) {
+	ix, err := c.FetchIndex()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byName == nil {
+		c.byName = make(map[string]int, len(ix.Records))
+		for i, re := range ix.Records {
+			c.byName[re.Name] = i
+		}
+	}
+	i, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no record %q in the index", name)
+	}
+	return &ix.Records[i], nil
+}
+
+// ReadSamples implements core.SampleReader over the wire: one GET with the
+// selection as a compact bitmap (?group=g&samples=b), answered by a
+// pushdown-aware server with only the selected samples' coalesced byte
+// ranges. The expected ranges are computed client-side from the same index
+// the server holds, so the response is verified by length. An old server
+// ignores the samples parameter and sends the full group prefix; the
+// response then lacks the pushdown header and the client extracts the
+// ranges locally — same bytes, no transfer savings. Transient failures
+// retry like ReadRange.
+var _ core.SampleReader = (*Client)(nil)
+
+func (c *Client) ReadSamples(name string, group int, sel []bool) ([]byte, error) {
+	re, err := c.recordInfo(name)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryDelay(attempt - 1))
+		}
+		buf, retryable, err := c.readSamplesOnce(re, group, sel, false)
+		if err == nil {
+			return buf, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// readSamplesOnce is one ReadSamples attempt; retryable marks failures
+// worth another try (on this or — for a cluster client — another member).
+func (c *Client) readSamplesOnce(re *core.RecordInfo, group int, sel []bool, hedge bool) (buf []byte, retryable bool, err error) {
+	if group >= len(re.Prefixes) {
+		group = len(re.Prefixes) - 1 // mirror the server's clamp
+	}
+	ranges, err := re.SampleRanges(group, sel)
+	if err != nil {
+		return nil, false, err
+	}
+	want := core.RangesTotal(ranges)
+	u := fmt.Sprintf("%s?group=%d&samples=%s", c.recordURL(re.Name), group, encodeSampleBitmap(sel))
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: %w", err)
+	}
+	if hedge {
+		req.Header.Set(hedgeHeader, "1")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, true, fmt.Errorf("serve: reading %s: %w", re.Name, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if resp.Header.Get(pushdownHeader) != "" {
+			buf := make([]byte, want)
+			if n, err := io.ReadFull(resp.Body, buf); err != nil {
+				return nil, true, fmt.Errorf("serve: reading %s: %w: truncated pushdown response (got %d of %d bytes)",
+					re.Name, core.ErrCorrupt, n, want)
+			}
+			return buf, false, nil
+		}
+		// Fallback: the server predates pushdown, ignored ?samples=, and
+		// served the whole group prefix. Extract the ranges locally.
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, true, fmt.Errorf("serve: reading %s: %w", re.Name, err)
+		}
+		if int64(len(body)) < re.Prefixes[group] {
+			return nil, false, fmt.Errorf("serve: reading %s: %w: group %d prefix is %d bytes, got %d",
+				re.Name, core.ErrCorrupt, group, re.Prefixes[group], len(body))
+		}
+		out, err := core.GatherRanges(body, ranges)
+		if err != nil {
+			return nil, false, err
+		}
+		return out, false, nil
+	case http.StatusMisdirectedRequest:
+		return nil, true, &misdirectedError{name: re.Name, owner: resp.Header.Get(ownerHeader)}
+	default:
+		return nil, retryableStatus(resp.StatusCode),
+			fmt.Errorf("serve: reading %s: server returned %s", re.Name, resp.Status)
 	}
 }
 

@@ -84,6 +84,7 @@ type ClusterClient struct {
 	clients map[string]*Client
 	down    map[string]time.Time // member -> down-until
 	idx     *core.Index
+	byName  map[string]int // lazy name → idx.Records index (ReadSamples)
 	shard   int
 	nshards int // 0 = whole index
 
@@ -507,6 +508,79 @@ func (c *ClusterClient) hedgedRead(primary string, backups []string, name string
 		}
 	}
 	return nil, lastRetryable, lastErr
+}
+
+// ReadSamples implements core.SampleReader against the fleet: the pushdown
+// read goes to the record's replica set owner-first with the same failover
+// and membership-refresh discipline as ReadRange (no hedging: pushdown
+// responses are already the small, selected fraction of a record, so the
+// tail-latency machinery buys little against the added duplicate bytes).
+var _ core.SampleReader = (*ClusterClient)(nil)
+
+func (c *ClusterClient) ReadSamples(name string, group int, sel []bool) ([]byte, error) {
+	re, err := c.recordInfoFor(name)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for round := 0; round < retryAttempts; round++ {
+		if round > 0 {
+			time.Sleep(retryDelay(round - 1))
+			c.refreshMembership()
+		}
+		reps, err := c.replicasFor(name)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		for i, member := range reps {
+			if i > 0 {
+				c.failovers.Add(1)
+			}
+			mc, err := c.memberClient(member)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			buf, retryable, err := mc.readSamplesOnce(re, group, sel, false)
+			if err == nil {
+				c.observeLatency(time.Since(start))
+				return buf, nil
+			}
+			var mis *misdirectedError
+			if errors.As(err, &mis) {
+				c.misdirects.Add(1)
+				c.refreshMembership()
+			} else if !retryable {
+				return nil, err
+			} else {
+				c.markDown(member)
+			}
+			lastErr = err
+		}
+	}
+	return nil, lastErr
+}
+
+// recordInfoFor resolves a record name against the fleet's cached index.
+func (c *ClusterClient) recordInfoFor(name string) (*core.RecordInfo, error) {
+	ix, err := c.FetchIndex()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byName == nil {
+		c.byName = make(map[string]int, len(ix.Records))
+		for i, re := range ix.Records {
+			c.byName[re.Name] = i
+		}
+	}
+	i, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no record %q in the index", name)
+	}
+	return &ix.Records[i], nil
 }
 
 // Open streams the whole named record from its replica set, owner first

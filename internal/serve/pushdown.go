@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Sample-level predicate pushdown: GET /records/{name}?group=g&samples=<bitmap>
+// serves only the byte ranges needed to materialize the selected samples at
+// scan group g — the metadata section plus the selected samples' slices of
+// every group ≤ g, coalesced and concatenated in ascending offset order.
+//
+// The selection travels as a compact bitmap rather than an offset list
+// because both sides hold the same immutable index: the client computes the
+// expected ranges (core.RecordInfo.SampleRanges) from the bitmap exactly as
+// the server does, so the wire carries only which samples, never where
+// their bytes live. Responses carry the pushdownHeader so a client can tell
+// a pushdown-aware server from an old one that ignored the parameter and
+// served the whole group prefix (the client then extracts the ranges
+// locally — same bytes, no savings; see Client.ReadSamples).
+//
+// Audit rules, mirroring resolveRange's: a samples= request must name a
+// group, must not carry a Range header, and its bitmap must be well-formed
+// base64url, no longer than the record's sample count needs, with no bits
+// set past the last sample. Violations are the client's fault and get 400,
+// never 500. Records without the side index (datasets written before it
+// existed) cannot compute sample ranges and also get 400.
+
+// pushdownHeader marks a response as a pushdown result (its value is the
+// served range count). Its absence on a 200 tells the client the server
+// ignored ?samples= and sent the full group prefix.
+const pushdownHeader = "X-Pcr-Pushdown"
+
+// maxSampleBitmapChars caps the accepted ?samples= value length before
+// decoding — a backstop against absurd query strings; any real bitmap for a
+// record's samples is far smaller (one bit per sample).
+const maxSampleBitmapChars = 1 << 16
+
+// encodeSampleBitmap packs a selection mask LSB-first (bit j of byte j/8 is
+// sample j) and encodes it as unpadded base64url. Trailing zero bytes are
+// trimmed: a shorter-than-full bitmap means the remaining samples are
+// unselected.
+func encodeSampleBitmap(sel []bool) string {
+	buf := make([]byte, (len(sel)+7)/8)
+	for j, on := range sel {
+		if on {
+			buf[j/8] |= 1 << (j % 8)
+		}
+	}
+	n := len(buf)
+	for n > 0 && buf[n-1] == 0 {
+		n--
+	}
+	return base64.RawURLEncoding.EncodeToString(buf[:n])
+}
+
+// decodeSampleBitmap reverses encodeSampleBitmap for a record of n samples.
+// It rejects malformed base64, bitmaps longer than n samples need, and bits
+// set at or past sample n. An empty string is a valid all-unselected
+// bitmap.
+func decodeSampleBitmap(s string, n int) ([]bool, error) {
+	if len(s) > maxSampleBitmapChars {
+		return nil, fmt.Errorf("serve: samples bitmap is %d characters, limit %d", len(s), maxSampleBitmapChars)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("serve: samples bitmap is not base64url: %v", err)
+	}
+	if max := (n + 7) / 8; len(raw) > max {
+		return nil, fmt.Errorf("serve: samples bitmap has %d bytes, a %d-sample record needs at most %d", len(raw), n, max)
+	}
+	sel := make([]bool, n)
+	for j := range raw {
+		b := raw[j]
+		for k := 0; k < 8; k++ {
+			if b&(1<<k) == 0 {
+				continue
+			}
+			idx := j*8 + k
+			if idx >= n {
+				return nil, fmt.Errorf("serve: samples bitmap selects sample %d of a %d-sample record", idx, n)
+			}
+			sel[idx] = true
+		}
+	}
+	return sel, nil
+}
+
+// handleSamples serves a pushdown request for record rec. The caller has
+// resolved the record and passed the fleet admission check; bitmap is the
+// raw ?samples= value.
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request, rec int, bitmap string) {
+	re := &s.records[rec]
+	gs := r.URL.Query().Get("group")
+	if gs == "" {
+		s.fail(w, http.StatusBadRequest, "serve: samples requires a group")
+		return
+	}
+	g, err := strconv.Atoi(gs)
+	if err != nil || g < 0 {
+		s.fail(w, http.StatusBadRequest, "serve: bad group %q", gs)
+		return
+	}
+	if g >= len(re.Prefixes) {
+		g = len(re.Prefixes) - 1
+	}
+	if r.Header.Get("Range") != "" {
+		// A byte range within a range-selected view has no defined object to
+		// range over; refuse rather than guess.
+		s.fail(w, http.StatusBadRequest, "serve: samples and Range cannot be combined")
+		return
+	}
+	if !re.HasSampleIndex() {
+		s.fail(w, http.StatusBadRequest, "serve: record %q predates the sample index; read the whole prefix", re.Name)
+		return
+	}
+	sel, err := decodeSampleBitmap(bitmap, re.Samples)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ranges, err := re.SampleRanges(g, sel)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "serve: %v", err)
+		return
+	}
+	total := core.RangesTotal(ranges)
+
+	etag := s.etags[rec]
+	w.Header().Set("ETag", etag)
+	if ifNoneMatch(r, etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	// Read all ranges before committing success headers (same discipline as
+	// handleRecord). Each range reads through the hot prefix cache, so a
+	// pushdown request still warms and reuses whole prefixes server-side.
+	var body []byte
+	if r.Method != http.MethodHead {
+		body = make([]byte, 0, total)
+		for _, rg := range ranges {
+			part, err := s.readRange(rec, rg.Offset, rg.Length)
+			if err != nil {
+				w.Header().Del("ETag")
+				s.fail(w, http.StatusInternalServerError, "serve: %v", err)
+				return
+			}
+			body = append(body, part...)
+		}
+	}
+	s.pushdownRequests.Add(1)
+	s.pushdownBytesSaved.Add(re.Prefixes[g] - total)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(total, 10))
+	w.Header().Set(pushdownHeader, strconv.Itoa(len(ranges)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	n, _ := w.Write(body)
+	s.bytesServed.Add(int64(n))
+}

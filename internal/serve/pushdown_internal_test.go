@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSampleBitmapRoundTrip(t *testing.T) {
+	cases := [][]bool{
+		{},
+		{true},
+		{false},
+		{true, false, true},
+		{false, false, false, false, false, false, false, false, true}, // bit 8: second byte
+		make([]bool, 64),
+	}
+	cases[len(cases)-1][63] = true
+	for _, sel := range cases {
+		s := encodeSampleBitmap(sel)
+		got, err := decodeSampleBitmap(s, len(sel))
+		if err != nil {
+			t.Fatalf("decode(%q, %d): %v", s, len(sel), err)
+		}
+		if !reflect.DeepEqual(got, sel) {
+			t.Fatalf("round trip %v -> %q -> %v", sel, s, got)
+		}
+	}
+}
+
+func TestDecodeSampleBitmapRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		s    string
+		n    int
+	}{
+		{"not base64", "!!!", 8},
+		{"padded base64", "AQ==", 8},
+		{"overlong for count", encodeSampleBitmap(make([]bool, 64)) + "AAAA", 8},
+		{"two bytes for one sample", "AAE", 1},
+		{"bit past sample count", "Ag", 1},             // bit 1 of a 1-sample record
+		{"bit at sample count", "gA", 7},               // bit 7 of a 7-sample record
+		{"bitmap for empty record", "AQ", 0},           // any byte is overlong for 0 samples
+		{"giant input", strings.Repeat("A", 1<<17), 8}, // over maxSampleBitmapChars
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if sel, err := decodeSampleBitmap(tc.s, tc.n); err == nil {
+				t.Fatalf("decodeSampleBitmap(%q, %d) accepted as %v", tc.s, tc.n, sel)
+			}
+		})
+	}
+	// Trailing zero bytes are the one permitted laxity: a short bitmap means
+	// the rest is unselected, and an explicit all-zero byte is not overlong.
+	if sel, err := decodeSampleBitmap("AA", 8); err != nil || len(sel) != 8 {
+		t.Fatalf("all-zero byte: %v, %v", sel, err)
+	}
+	if sel, err := decodeSampleBitmap("", 8); err != nil || len(sel) != 8 {
+		t.Fatalf("empty bitmap: %v, %v", sel, err)
+	}
+}
+
+// FuzzSampleBitmap hardens the wire-format decoder: arbitrary query values
+// must be cleanly accepted or rejected (never panic, never a mask of the
+// wrong length), and every accepted mask must survive an encode/decode
+// round trip.
+func FuzzSampleBitmap(f *testing.F) {
+	f.Add("", 0)
+	f.Add("", 8)
+	f.Add("AQ", 8)
+	f.Add("Ag", 1)
+	f.Add("AA", 8)
+	f.Add("_w", 8)
+	f.Add("-_-_", 24)
+	f.Add("AQ==", 8)
+	f.Add("!!!", 8)
+	f.Add(strings.Repeat("A", 70000), 8)
+	f.Add(encodeSampleBitmap([]bool{true, false, true, true}), 4)
+	f.Fuzz(func(t *testing.T, s string, n int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 12
+		sel, err := decodeSampleBitmap(s, n)
+		if err != nil {
+			return
+		}
+		if len(sel) != n {
+			t.Fatalf("decodeSampleBitmap(%q, %d) returned %d-sample mask", s, n, len(sel))
+		}
+		sel2, err := decodeSampleBitmap(encodeSampleBitmap(sel), n)
+		if err != nil {
+			t.Fatalf("re-decode of %v failed: %v", sel, err)
+		}
+		if !reflect.DeepEqual(sel, sel2) {
+			t.Fatalf("bitmap round trip changed the mask: %v -> %v", sel, sel2)
+		}
+	})
+}

@@ -31,6 +31,11 @@
 //	                                  the whole record. This is NOT the pcr
 //	                                  facade's quality scale, where 0 (Full)
 //	                                  means best — omit ?group for all bytes.
+//	GET /records/{name}?group=g&samples=b
+//	                                → sample-level predicate pushdown: only
+//	                                  the byte ranges of the samples the
+//	                                  base64url bitmap b selects, coalesced
+//	                                  and concatenated (see pushdown.go).
 //	GET /varz                       → counters as expvar-style JSON.
 //	GET /healthz                    → liveness.
 //
@@ -155,6 +160,13 @@ type Stats struct {
 	// only).
 	ReplicaPulls     int64 `json:"replica_pulls"`
 	ReplicaPullBytes int64 `json:"replica_pull_bytes"`
+	// PushdownRequests counts sample-selective record reads (?samples=
+	// bitmap requests answered with only the selected byte ranges);
+	// PushdownBytesSaved accumulates the bytes those responses did NOT
+	// move relative to the full group prefix — the serving-side measure of
+	// predicate pushdown working.
+	PushdownRequests   int64 `json:"pushdown_requests"`
+	PushdownBytesSaved int64 `json:"pushdown_bytes_saved"`
 	// Cache are the hot-prefix cache's counters (zero when disabled).
 	Cache cache.Stats `json:"cache"`
 	// DiskCache are the persistent disk tier's counters (zero when
@@ -194,16 +206,18 @@ type Server struct {
 	pullMu    sync.Mutex
 	pullOwner map[int]string
 
-	requests         atomic.Int64
-	rangeRequests    atomic.Int64
-	notModified      atomic.Int64
-	errors           atomic.Int64
-	bytesServed      atomic.Int64
-	bytesRead        atomic.Int64
-	hedgedRequests   atomic.Int64
-	misdirected      atomic.Int64
-	replicaPulls     atomic.Int64
-	replicaPullBytes atomic.Int64
+	requests           atomic.Int64
+	rangeRequests      atomic.Int64
+	notModified        atomic.Int64
+	errors             atomic.Int64
+	bytesServed        atomic.Int64
+	bytesRead          atomic.Int64
+	hedgedRequests     atomic.Int64
+	misdirected        atomic.Int64
+	replicaPulls       atomic.Int64
+	replicaPullBytes   atomic.Int64
+	pushdownRequests   atomic.Int64
+	pushdownBytesSaved atomic.Int64
 }
 
 // New opens the PCR dataset directory at dir and serves it. Close releases
@@ -360,16 +374,18 @@ func (s *Server) Close() error {
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:         s.requests.Load(),
-		RangeRequests:    s.rangeRequests.Load(),
-		NotModified:      s.notModified.Load(),
-		Errors:           s.errors.Load(),
-		BytesServed:      s.bytesServed.Load(),
-		BytesRead:        s.bytesRead.Load(),
-		HedgedRequests:   s.hedgedRequests.Load(),
-		Misdirected:      s.misdirected.Load(),
-		ReplicaPulls:     s.replicaPulls.Load(),
-		ReplicaPullBytes: s.replicaPullBytes.Load(),
+		Requests:           s.requests.Load(),
+		RangeRequests:      s.rangeRequests.Load(),
+		NotModified:        s.notModified.Load(),
+		Errors:             s.errors.Load(),
+		BytesServed:        s.bytesServed.Load(),
+		BytesRead:          s.bytesRead.Load(),
+		HedgedRequests:     s.hedgedRequests.Load(),
+		Misdirected:        s.misdirected.Load(),
+		ReplicaPulls:       s.replicaPulls.Load(),
+		ReplicaPullBytes:   s.replicaPullBytes.Load(),
+		PushdownRequests:   s.pushdownRequests.Load(),
+		PushdownBytesSaved: s.pushdownBytesSaved.Load(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
@@ -516,6 +532,12 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(ownerHeader, s.owner[rec])
 		s.fail(w, http.StatusMisdirectedRequest,
 			"serve: record %q belongs to %s (this member is %s)", name, s.owner[rec], s.self)
+		return
+	}
+	// Sample-level pushdown: serve only the selected samples' byte ranges
+	// (see pushdown.go).
+	if bitmap := r.URL.Query().Get("samples"); bitmap != "" {
+		s.handleSamples(w, r, rec, bitmap)
 		return
 	}
 	re := &s.records[rec]

@@ -106,13 +106,32 @@ func (d *Dataset) SizeAtQuality(q int) (int64, error) {
 // ScanEncoded streams every sample in storage order at quality q, filling
 // Sample.JPEG with a self-contained stream (PCR samples are reassembled from
 // the record prefix) but not decoding it. Iteration stops at the first
-// error; cancelling ctx stops it promptly with ctx.Err().
-func (d *Dataset) ScanEncoded(ctx context.Context, q int) iter.Seq2[Sample, error] {
+// error; cancelling ctx stops it promptly with ctx.Err(). WithFilter
+// restricts the stream to the samples a predicate selects, pushing the
+// selection into the read plan where the format allows it.
+func (d *Dataset) ScanEncoded(ctx context.Context, q int, opts ...ScanOption) iter.Seq2[Sample, error] {
 	qq, err := d.resolveQuality(q)
 	if err != nil {
 		return errSeq(err)
 	}
-	return d.guardClosed(d.r.scanEncoded(ctx, qq))
+	sc, err := applyScanOptions(opts)
+	if err != nil {
+		return errSeq(err)
+	}
+	return d.guardClosed(d.scanEncodedWith(ctx, qq, sc))
+}
+
+// scanEncodedWith routes an encoded scan through the format's pushdown
+// path when a filter is set and the format supports one, and through a
+// generic post-read selection stage otherwise.
+func (d *Dataset) scanEncodedWith(ctx context.Context, qq int, sc *scanConfig) iter.Seq2[Sample, error] {
+	if sc.pred == nil {
+		return d.r.scanEncoded(ctx, qq)
+	}
+	if fs, ok := d.r.(filteredScanner); ok {
+		return fs.scanEncodedFiltered(ctx, qq, sc.pred, sc.stats)
+	}
+	return filterSeq(d.r.scanEncoded(ctx, qq), sc.pred, sc.stats)
 }
 
 // guardClosed makes an in-flight scan observe a concurrent Close at its next
@@ -137,9 +156,14 @@ func (d *Dataset) guardClosed(seq iter.Seq2[Sample, error]) iter.Seq2[Sample, er
 // cache when WithCacheBytes is set) and images are decoded concurrently by
 // WithPrefetchWorkers goroutines; samples are yielded in storage order.
 // Iteration stops at the first error; cancelling ctx stops it promptly with
-// ctx.Err().
-func (d *Dataset) Scan(ctx context.Context, q int) iter.Seq2[Sample, error] {
+// ctx.Err(). WithFilter restricts the stream to the samples a predicate
+// selects (see ScanEncoded); only selected samples are decoded.
+func (d *Dataset) Scan(ctx context.Context, q int, opts ...ScanOption) iter.Seq2[Sample, error] {
 	qq, err := d.resolveQuality(q)
+	if err != nil {
+		return errSeq(err)
+	}
+	sc, err := applyScanOptions(opts)
 	if err != nil {
 		return errSeq(err)
 	}
@@ -152,7 +176,7 @@ func (d *Dataset) Scan(ctx context.Context, q int) iter.Seq2[Sample, error] {
 		// the bounded decode pool; jobs preserve storage order so the
 		// consumer below yields in-order while decodes overlap.
 		jobs := decodePool(ictx, workers, func(emit func(*decodeJob) bool) {
-			for s, err := range d.r.scanEncoded(ictx, qq) {
+			for s, err := range d.scanEncodedWith(ictx, qq, sc) {
 				if !emit(&decodeJob{s: s, err: err}) {
 					return
 				}

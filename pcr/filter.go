@@ -1,0 +1,487 @@
+package pcr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Predicate selects samples by identity — the relational view over the
+// metadata the record index already holds (per-sample IDs and labels).
+// Build one from the combinators (LabelIn, IDRange, And, Or, Not) or parse
+// one from its string form with ParseFilter; String renders the canonical
+// form ParseFilter round-trips.
+//
+// Predicates are immutable and safe for concurrent use. The interface is
+// sealed: evaluation must stay plannable from the index alone (that is what
+// makes server-side pushdown possible), so arbitrary user implementations
+// are not accepted.
+type Predicate interface {
+	// Matches reports whether the sample with the given ID and label is
+	// selected.
+	Matches(id, label int64) bool
+	// String renders the predicate in ParseFilter's grammar.
+	String() string
+	sealedPredicate()
+}
+
+// LabelIn selects samples whose label is any of the given values. Labels
+// are deduplicated and order-insensitive. With no labels it selects
+// nothing.
+func LabelIn(labels ...int64) Predicate {
+	set := append([]int64(nil), labels...)
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	n := 0
+	for i, v := range set {
+		if i == 0 || v != set[n-1] {
+			set[n] = v
+			n++
+		}
+	}
+	return labelIn{set: set[:n]}
+}
+
+// IDRange selects samples whose ID lies in [lo, hi], inclusive. An empty
+// interval (lo > hi) selects nothing.
+func IDRange(lo, hi int64) Predicate {
+	if lo > hi {
+		return idRange{lo: 1, hi: 0} // canonical empty interval
+	}
+	return idRange{lo: lo, hi: hi}
+}
+
+// And selects samples both predicates select.
+func And(l, r Predicate) Predicate { return andPred{l: l, r: r} }
+
+// Or selects samples either predicate selects.
+func Or(l, r Predicate) Predicate { return orPred{l: l, r: r} }
+
+// Not inverts a predicate.
+func Not(p Predicate) Predicate { return notPred{p: p} }
+
+type labelIn struct{ set []int64 } // sorted, deduplicated
+
+func (p labelIn) Matches(id, label int64) bool {
+	i := sort.Search(len(p.set), func(i int) bool { return p.set[i] >= label })
+	return i < len(p.set) && p.set[i] == label
+}
+
+func (p labelIn) String() string {
+	if len(p.set) == 1 {
+		return fmt.Sprintf("label = %d", p.set[0])
+	}
+	parts := make([]string, len(p.set))
+	for i, v := range p.set {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return "label IN (" + strings.Join(parts, ", ") + ")"
+}
+
+type idRange struct{ lo, hi int64 }
+
+func (p idRange) Matches(id, label int64) bool { return p.lo <= id && id <= p.hi }
+
+func (p idRange) String() string {
+	switch {
+	case p.lo == p.hi:
+		return fmt.Sprintf("id = %d", p.lo)
+	case p.hi == math.MaxInt64:
+		return fmt.Sprintf("id >= %d", p.lo)
+	case p.lo == math.MinInt64:
+		return fmt.Sprintf("id <= %d", p.hi)
+	default:
+		return fmt.Sprintf("id IN [%d..%d]", p.lo, p.hi)
+	}
+}
+
+type andPred struct{ l, r Predicate }
+
+func (p andPred) Matches(id, label int64) bool {
+	return p.l.Matches(id, label) && p.r.Matches(id, label)
+}
+
+func (p andPred) String() string {
+	return "(" + p.l.String() + " AND " + p.r.String() + ")"
+}
+
+type orPred struct{ l, r Predicate }
+
+func (p orPred) Matches(id, label int64) bool {
+	return p.l.Matches(id, label) || p.r.Matches(id, label)
+}
+
+func (p orPred) String() string {
+	return "(" + p.l.String() + " OR " + p.r.String() + ")"
+}
+
+type notPred struct{ p Predicate }
+
+func (p notPred) Matches(id, label int64) bool { return !p.p.Matches(id, label) }
+
+func (p notPred) String() string { return "NOT " + p.p.String() }
+
+func (labelIn) sealedPredicate() {}
+func (idRange) sealedPredicate() {}
+func (andPred) sealedPredicate() {}
+func (orPred) sealedPredicate()  {}
+func (notPred) sealedPredicate() {}
+
+// ParseFilter parses a predicate from its string form. The grammar, with
+// case-insensitive keywords and free whitespace:
+//
+//	expr       := and { OR and }                  -- AND binds tighter
+//	and        := unary { AND unary }
+//	unary      := NOT unary | '(' expr ')' | comparison
+//	comparison := label-cmp | id-cmp
+//	label-cmp  := label IN '(' int {',' int} ')' | label ('='|'!=') int
+//	id-cmp     := id IN '[' int '..' int ']'      -- inclusive range
+//	            | id IN '(' int {',' int} ')'     -- sugar for an OR of =
+//	            | id ('='|'!='|'<'|'<='|'>'|'>=') int
+//
+// Integers are signed 64-bit; out-of-range literals are an error, as is any
+// trailing input. ParseFilter never panics; every accepted input's
+// Predicate round-trips (parsing p.String() yields an equal predicate).
+func ParseFilter(s string) (Predicate, error) {
+	toks, err := lexFilter(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &filterParser{toks: toks}
+	pred, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("pcr: filter: unexpected %q after expression", t.text)
+	}
+	return pred, nil
+}
+
+// maxFilterDepth bounds parser recursion so adversarial inputs (deeply
+// nested parens or NOT chains, e.g. from the fuzzer) fail cleanly instead
+// of exhausting the stack.
+const maxFilterDepth = 200
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokWord
+	tokInt
+	tokLParen
+	tokRParen
+	tokLBrack
+	tokRBrack
+	tokComma
+	tokDots
+	tokOp
+)
+
+type filterToken struct {
+	kind tokKind
+	text string
+	n    int64 // value for tokInt
+}
+
+func lexFilter(s string) ([]filterToken, error) {
+	var toks []filterToken
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, filterToken{kind: tokLParen, text: "("})
+			i++
+		case c == ')':
+			toks = append(toks, filterToken{kind: tokRParen, text: ")"})
+			i++
+		case c == '[':
+			toks = append(toks, filterToken{kind: tokLBrack, text: "["})
+			i++
+		case c == ']':
+			toks = append(toks, filterToken{kind: tokRBrack, text: "]"})
+			i++
+		case c == ',':
+			toks = append(toks, filterToken{kind: tokComma, text: ","})
+			i++
+		case c == '.':
+			if i+1 >= len(s) || s[i+1] != '.' {
+				return nil, fmt.Errorf("pcr: filter: stray '.' at offset %d", i)
+			}
+			toks = append(toks, filterToken{kind: tokDots, text: ".."})
+			i += 2
+		case c == '=':
+			toks = append(toks, filterToken{kind: tokOp, text: "="})
+			i++
+		case c == '!':
+			if i+1 >= len(s) || s[i+1] != '=' {
+				return nil, fmt.Errorf("pcr: filter: stray '!' at offset %d", i)
+			}
+			toks = append(toks, filterToken{kind: tokOp, text: "!="})
+			i += 2
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < len(s) && s[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, filterToken{kind: tokOp, text: op})
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' {
+				j++
+			}
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			if j == i+1 && c == '-' {
+				return nil, fmt.Errorf("pcr: filter: stray '-' at offset %d", i)
+			}
+			n, err := strconv.ParseInt(s[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pcr: filter: integer %q out of range", s[i:j])
+			}
+			toks = append(toks, filterToken{kind: tokInt, text: s[i:j], n: n})
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(s) && (s[j] == '_' || (s[j] >= 'a' && s[j] <= 'z') || (s[j] >= 'A' && s[j] <= 'Z')) {
+				j++
+			}
+			toks = append(toks, filterToken{kind: tokWord, text: strings.ToLower(s[i:j])})
+			i = j
+		default:
+			return nil, fmt.Errorf("pcr: filter: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return append(toks, filterToken{kind: tokEOF, text: "end of input"}), nil
+}
+
+type filterParser struct {
+	toks []filterToken
+	pos  int
+}
+
+func (p *filterParser) peek() filterToken { return p.toks[p.pos] }
+
+func (p *filterParser) next() filterToken {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *filterParser) word() (string, bool) {
+	if t := p.peek(); t.kind == tokWord {
+		p.pos++
+		return t.text, true
+	}
+	return "", false
+}
+
+func (p *filterParser) expect(kind tokKind, what string) (filterToken, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("pcr: filter: expected %s, got %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *filterParser) parseExpr(depth int) (Predicate, error) {
+	left, err := p.parseAnd(depth)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokWord && p.peek().text == "or" {
+		p.next()
+		right, err := p.parseAnd(depth)
+		if err != nil {
+			return nil, err
+		}
+		left = Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseAnd(depth int) (Predicate, error) {
+	left, err := p.parseUnary(depth)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokWord && p.peek().text == "and" {
+		p.next()
+		right, err := p.parseUnary(depth)
+		if err != nil {
+			return nil, err
+		}
+		left = And(left, right)
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseUnary(depth int) (Predicate, error) {
+	if depth >= maxFilterDepth {
+		return nil, fmt.Errorf("pcr: filter: expression nested deeper than %d", maxFilterDepth)
+	}
+	switch t := p.peek(); {
+	case t.kind == tokWord && t.text == "not":
+		p.next()
+		inner, err := p.parseUnary(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return Not(inner), nil
+	case t.kind == tokLParen:
+		p.next()
+		inner, err := p.parseExpr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return p.parseComparison()
+	}
+}
+
+func (p *filterParser) parseComparison() (Predicate, error) {
+	field, ok := p.word()
+	if !ok {
+		return nil, fmt.Errorf("pcr: filter: expected 'label' or 'id', got %q", p.peek().text)
+	}
+	if field != "label" && field != "id" {
+		return nil, fmt.Errorf("pcr: filter: unknown field %q (want 'label' or 'id')", field)
+	}
+	t := p.next()
+	switch {
+	case t.kind == tokWord && t.text == "in":
+		return p.parseIn(field)
+	case t.kind == tokOp:
+		v, err := p.expect(tokInt, "an integer")
+		if err != nil {
+			return nil, err
+		}
+		return buildComparison(field, t.text, v.n)
+	default:
+		return nil, fmt.Errorf("pcr: filter: expected an operator after %q, got %q", field, t.text)
+	}
+}
+
+// parseIn handles "IN (v, v, …)" for both fields and "IN [lo..hi]" for id.
+func (p *filterParser) parseIn(field string) (Predicate, error) {
+	switch t := p.next(); t.kind {
+	case tokLParen:
+		var vals []int64
+		for {
+			v, err := p.expect(tokInt, "an integer")
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v.n)
+			sep := p.next()
+			if sep.kind == tokRParen {
+				break
+			}
+			if sep.kind != tokComma {
+				return nil, fmt.Errorf("pcr: filter: expected ',' or ')', got %q", sep.text)
+			}
+		}
+		if field == "label" {
+			return LabelIn(vals...), nil
+		}
+		// id IN (…) is sugar for an OR of point ranges, deduplicated and
+		// sorted so the result is canonical.
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		var pred Predicate
+		var prev int64
+		for i, v := range vals {
+			if i > 0 && v == prev {
+				continue
+			}
+			prev = v
+			if pred == nil {
+				pred = IDRange(v, v)
+			} else {
+				pred = Or(pred, IDRange(v, v))
+			}
+		}
+		return pred, nil
+	case tokLBrack:
+		if field != "id" {
+			return nil, fmt.Errorf("pcr: filter: label ranges are unsupported; use label IN (…)")
+		}
+		lo, err := p.expect(tokInt, "an integer")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDots, "'..'"); err != nil {
+			return nil, err
+		}
+		hi, err := p.expect(tokInt, "an integer")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrack, "']'"); err != nil {
+			return nil, err
+		}
+		return IDRange(lo.n, hi.n), nil
+	default:
+		return nil, fmt.Errorf("pcr: filter: expected '(' or '[' after IN, got %q", t.text)
+	}
+}
+
+func buildComparison(field, op string, n int64) (Predicate, error) {
+	if field == "label" {
+		switch op {
+		case "=":
+			return LabelIn(n), nil
+		case "!=":
+			return Not(LabelIn(n)), nil
+		default:
+			return nil, fmt.Errorf("pcr: filter: label supports =, != and IN, not %q", op)
+		}
+	}
+	switch op {
+	case "=":
+		return IDRange(n, n), nil
+	case "!=":
+		return Not(IDRange(n, n)), nil
+	case "<":
+		if n == math.MinInt64 {
+			return IDRange(1, 0), nil // empty
+		}
+		return IDRange(math.MinInt64, n-1), nil
+	case "<=":
+		return IDRange(math.MinInt64, n), nil
+	case ">":
+		if n == math.MaxInt64 {
+			return IDRange(1, 0), nil // empty
+		}
+		return IDRange(n+1, math.MaxInt64), nil
+	case ">=":
+		return IDRange(n, math.MaxInt64), nil
+	default:
+		return nil, fmt.Errorf("pcr: filter: unsupported operator %q", op)
+	}
+}
+
+// matchSelection evaluates pred over parallel id/label slices, returning
+// the selection mask and the selected count.
+func matchSelection(pred Predicate, ids, labels []int64) (sel []bool, n int) {
+	sel = make([]bool, len(ids))
+	for i := range ids {
+		if pred.Matches(ids[i], labels[i]) {
+			sel[i] = true
+			n++
+		}
+	}
+	return sel, n
+}

@@ -1,0 +1,56 @@
+package pcr_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/pcr"
+)
+
+// FuzzParseFilter drives the predicate parser with arbitrary input. The
+// invariants: ParseFilter never panics, and every accepted input
+// round-trips — parsing the predicate's canonical String() form yields an
+// equal predicate whose String() is a fixpoint. The seed corpus under
+// testdata/fuzz/FuzzParseFilter covers every grammar production and the
+// lexer's edge characters.
+func FuzzParseFilter(f *testing.F) {
+	for _, seed := range []string{
+		"label = 3",
+		"label != 3",
+		"label IN (3, 7)",
+		"id = 5",
+		"id IN [10..20]",
+		"id IN (1, 2, 9)",
+		"id >= 100",
+		"id < -5",
+		"label IN (1, 2) AND id >= 10",
+		"label = 1 OR label = 2 AND NOT id = 5",
+		"NOT (label = 1 OR id IN [1..9])",
+		"((label=0))",
+		"id <= 9223372036854775807",
+		"id = -9223372036854775808",
+		"label IN [1..2]",
+		"id .. 3",
+		"label = 99999999999999999999",
+		"", " ", "(", "!", "🚀",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := pcr.ParseFilter(in)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		s := p.String()
+		p2, err := pcr.ParseFilter(s)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q) accepted, but its String %q does not reparse: %v", in, s, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed the predicate: %q parsed as %#v, reparsed as %#v", in, p, p2)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("String is not a fixpoint: %q -> %q -> %q", in, s, s2)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package pcr
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sync/atomic"
+)
+
+// FilterStats accounts for one filtered scan: what the predicate selected,
+// what it skipped, and what the selection saved in record bytes. Byte
+// accounting is exact for the PCR format (whose side index makes skipped
+// bytes plannable); the baseline formats filter after the read and report
+// zero byte savings.
+//
+// The stats are written while the scan runs; read them after the scan's
+// iterator has been fully consumed (or has yielded an error). Reading them
+// while a Scan with prefetch workers is still mid-flight is racy.
+type FilterStats struct {
+	// Selected and Skipped count samples for and against the predicate.
+	Selected int64
+	Skipped  int64
+	// RecordsSkipped counts records no byte of which was read because the
+	// side index proved no sample matched.
+	RecordsSkipped int64
+	// BytesRead is the record bytes actually fetched; BytesAvoided is what
+	// an unfiltered scan at the same quality would have fetched on top.
+	BytesRead    int64
+	BytesAvoided int64
+}
+
+func (s *FilterStats) addSamples(selected, skipped int64) {
+	atomic.AddInt64(&s.Selected, selected)
+	atomic.AddInt64(&s.Skipped, skipped)
+}
+
+func (s *FilterStats) addBytes(read, avoided int64) {
+	atomic.AddInt64(&s.BytesRead, read)
+	atomic.AddInt64(&s.BytesAvoided, avoided)
+}
+
+// ScanOption configures one Scan or ScanEncoded call.
+type ScanOption func(*scanConfig) error
+
+type scanConfig struct {
+	pred  Predicate
+	stats *FilterStats
+}
+
+// WithFilter restricts a scan to the samples the predicate selects,
+// preserving storage order among them. On PCR datasets carrying the
+// sample-offset side index the selection is pushed into the read plan:
+// records with no matching sample are not read at all, and — when the scan
+// runs without cache tiers — partially matching records are fetched as
+// sparse byte ranges covering only the selected samples (remotely, a single
+// pushdown request moving only those bytes). With cache tiers the full
+// prefix is read through the cache (caches are prefix-shaped) and filtering
+// happens afterwards; on datasets without a side index, or on the baseline
+// formats, filtering likewise happens after the read. Every path yields
+// byte-identical samples.
+func WithFilter(pred Predicate) ScanOption {
+	return func(sc *scanConfig) error {
+		if pred == nil {
+			return fmt.Errorf("pcr: WithFilter: nil predicate")
+		}
+		sc.pred = pred
+		return nil
+	}
+}
+
+// WithFilterStats points a filtered scan's accounting at stats, which is
+// reset when the scan starts and valid once its iterator has been fully
+// consumed. Requires WithFilter.
+func WithFilterStats(stats *FilterStats) ScanOption {
+	return func(sc *scanConfig) error {
+		if stats == nil {
+			return fmt.Errorf("pcr: WithFilterStats: nil stats")
+		}
+		sc.stats = stats
+		return nil
+	}
+}
+
+func applyScanOptions(opts []ScanOption) (*scanConfig, error) {
+	sc := &scanConfig{}
+	for _, o := range opts {
+		if err := o(sc); err != nil {
+			return nil, err
+		}
+	}
+	if sc.stats != nil && sc.pred == nil {
+		return nil, fmt.Errorf("pcr: WithFilterStats requires WithFilter")
+	}
+	if sc.stats != nil {
+		*sc.stats = FilterStats{}
+	}
+	return sc, nil
+}
+
+// FilterPlan is the index-only cost estimate of a filtered scan at one
+// quality: how many samples the predicate selects and how many record
+// bytes a cache-less filtered scan moves versus a full scan — the query
+// planner's view, computed without touching a record file.
+type FilterPlan struct {
+	// Selected of Total samples match the predicate.
+	Selected int
+	Total    int
+	// RecordsSkipped of Records contain no matching sample and are not
+	// read at all.
+	Records        int
+	RecordsSkipped int
+	// Bytes is the filtered scan's read volume (coalesced selected
+	// ranges); FullBytes is the unfiltered scan's (SizeAtQuality).
+	Bytes     int64
+	FullBytes int64
+}
+
+// PlanFilter estimates what Scan(WithFilter(pred)) at quality q will read,
+// purely from the record index. It requires the PCR format and the
+// sample-offset side index on every record; datasets written before the
+// side index existed report core's ErrNoSampleIndex (such datasets still
+// scan filtered, just without planned byte savings).
+func (d *Dataset) PlanFilter(pred Predicate, q int) (FilterPlan, error) {
+	if pred == nil {
+		return FilterPlan{}, fmt.Errorf("pcr: PlanFilter: nil predicate")
+	}
+	qq, err := d.resolveQuality(q)
+	if err != nil {
+		return FilterPlan{}, err
+	}
+	fp, ok := d.r.(filterPlanner)
+	if !ok {
+		return FilterPlan{}, fmt.Errorf("pcr: PlanFilter on %s format: filtering is post-read, no plan to compute", d.cfg.format.Name())
+	}
+	return fp.planFilter(pred, qq)
+}
+
+// filterPlanner is the format capability behind PlanFilter.
+type filterPlanner interface {
+	planFilter(pred Predicate, qq int) (FilterPlan, error)
+}
+
+// filteredScanner is the format capability behind predicate pushdown; only
+// the PCR reader implements it. Formats without it get the generic
+// post-read selection stage (filterSeq).
+type filteredScanner interface {
+	scanEncodedFiltered(ctx context.Context, q int, pred Predicate, stats *FilterStats) iter.Seq2[Sample, error]
+}
+
+// filteredRecordReader is the record-granular capability behind the
+// Loader's WithLoaderFilter: side-index selection lookup plus filtered
+// (possibly sparse) record reads. Only the PCR reader implements it.
+type filteredRecordReader interface {
+	selection(i int, pred Predicate) (sel []bool, nsel int, ok bool)
+	readRecordFiltered(i, q int, pred Predicate, sel []bool) (samples []Sample, bytesRead, bytesAvoided int64, err error)
+}
+
+// filterSeq composes a pure selection stage onto an encoded scan — the
+// relational-algebra view of WithFilter, usable over any sample stream.
+func filterSeq(seq iter.Seq2[Sample, error], pred Predicate, stats *FilterStats) iter.Seq2[Sample, error] {
+	return func(yield func(Sample, error) bool) {
+		for s, err := range seq {
+			if err != nil {
+				yield(s, err)
+				return
+			}
+			if !pred.Matches(s.ID, s.Label) {
+				if stats != nil {
+					stats.addSamples(0, 1)
+				}
+				continue
+			}
+			if stats != nil {
+				stats.addSamples(1, 0)
+			}
+			if !yield(s, nil) {
+				return
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -192,6 +193,201 @@ func (r *pcrReader) scanEncoded(ctx context.Context, q int) iter.Seq2[Sample, er
 			if err != nil {
 				yield(Sample{}, err)
 				return
+			}
+			for _, s := range samples {
+				if !yield(s, nil) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// selection evaluates pred over record i's side index without touching the
+// record file. ok is false when the record predates the side index, in
+// which case the caller must read the record and filter afterwards.
+func (r *pcrReader) selection(i int, pred Predicate) (sel []bool, nsel int, ok bool) {
+	ids, labels, err := r.ds.SampleIndex(i)
+	if err != nil {
+		return nil, 0, false
+	}
+	sel, nsel = matchSelection(pred, ids, labels)
+	return sel, nsel, true
+}
+
+// readRecordFiltered materializes only the samples of record i that the
+// predicate selects, at quality q. sel is the side-index selection mask
+// (nil when the record has no side index). It returns the selected encoded
+// samples in storage order plus exact byte accounting: bytesRead is what
+// this read fetched, bytesAvoided is what a full prefix read would have
+// fetched on top.
+//
+// Read-path precedence: with cache tiers mounted, the full prefix is read
+// through them (caches are prefix-shaped — a sparse buffer could neither
+// fill nor be served from one) and the selection applies afterwards.
+// Without caches and with a side index, the read is sparse: only the
+// metadata section and the selected samples' slices are fetched, as one
+// pushdown request when the backend supports it (remote) or as per-range
+// reads (local). Selecting every sample coalesces to the ordinary full
+// prefix read.
+func (r *pcrReader) readRecordFiltered(i, q int, pred Predicate, sel []bool) (samples []Sample, bytesRead, bytesAvoided int64, err error) {
+	gg, err := r.recordQuality(i, q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	full, err := r.ds.RecordPrefixLen(i, gg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if sel == nil || r.cache != nil || r.disk != nil {
+		prefix, meta, err := r.readPrefix(i, gg)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		out := make([]Sample, 0, len(meta.Samples))
+		for si := range meta.Samples {
+			sm := &meta.Samples[si]
+			if sel != nil && !sel[si] {
+				continue
+			}
+			if sel == nil && !pred.Matches(sm.ID, sm.Label) {
+				continue
+			}
+			stream, err := meta.SampleJPEG(prefix, si, gg)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			out = append(out, Sample{ID: sm.ID, Label: sm.Label, JPEG: stream})
+		}
+		return out, full, 0, nil
+	}
+
+	ranges, err := r.ds.SampleRanges(i, gg, sel)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	got := core.RangesTotal(ranges)
+	var concat []byte
+	if sr, ok := r.ds.Backend().(core.SampleReader); ok {
+		name, err := r.ds.RecordName(i)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		concat, err = sr.ReadSamples(name, gg, sel)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	} else {
+		concat = make([]byte, 0, got)
+		for _, rg := range ranges {
+			part, err := r.ds.ReadRecordRange(i, rg.Offset, rg.Length)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			concat = append(concat, part...)
+		}
+	}
+	prefix, err := core.ScatterRanges(concat, ranges, full)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	meta, err := core.ParseRecordMeta(prefix)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	out := make([]Sample, 0, len(meta.Samples))
+	for si := range meta.Samples {
+		if !sel[si] {
+			continue
+		}
+		stream, err := meta.SampleJPEG(prefix, si, gg)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		out = append(out, Sample{ID: meta.Samples[si].ID, Label: meta.Samples[si].Label, JPEG: stream})
+	}
+	return out, got, full - got, nil
+}
+
+// planFilter computes the filtered-scan cost estimate behind
+// Dataset.PlanFilter from the side index alone.
+func (r *pcrReader) planFilter(pred Predicate, qq int) (FilterPlan, error) {
+	var plan FilterPlan
+	plan.Records = r.ds.NumRecords()
+	for i := 0; i < r.ds.NumRecords(); i++ {
+		gg, err := r.recordQuality(i, qq)
+		if err != nil {
+			return FilterPlan{}, err
+		}
+		full, err := r.ds.RecordPrefixLen(i, gg)
+		if err != nil {
+			return FilterPlan{}, err
+		}
+		plan.FullBytes += full
+		ids, labels, err := r.ds.SampleIndex(i)
+		if err != nil {
+			return FilterPlan{}, err
+		}
+		plan.Total += len(ids)
+		sel, nsel := matchSelection(pred, ids, labels)
+		if nsel == 0 {
+			plan.RecordsSkipped++
+			continue
+		}
+		plan.Selected += nsel
+		ranges, err := r.ds.SampleRanges(i, gg, sel)
+		if err != nil {
+			return FilterPlan{}, err
+		}
+		plan.Bytes += core.RangesTotal(ranges)
+	}
+	return plan, nil
+}
+
+// scanEncodedFiltered is scanEncoded with the selection pushed into the
+// read plan (see readRecordFiltered).
+func (r *pcrReader) scanEncodedFiltered(ctx context.Context, q int, pred Predicate, stats *FilterStats) iter.Seq2[Sample, error] {
+	return func(yield func(Sample, error) bool) {
+		for i := 0; i < r.ds.NumRecords(); i++ {
+			if err := ctx.Err(); err != nil {
+				yield(Sample{}, err)
+				return
+			}
+			sel, nsel, known := r.selection(i, pred)
+			if known && nsel == 0 {
+				if stats != nil {
+					gg, err := r.recordQuality(i, q)
+					if err != nil {
+						yield(Sample{}, err)
+						return
+					}
+					full, err := r.ds.RecordPrefixLen(i, gg)
+					if err != nil {
+						yield(Sample{}, err)
+						return
+					}
+					stats.addSamples(0, int64(len(sel)))
+					stats.addBytes(0, full)
+					atomic.AddInt64(&stats.RecordsSkipped, 1)
+				}
+				continue
+			}
+			if !known {
+				sel = nil
+			}
+			samples, bytesRead, bytesAvoided, err := r.readRecordFiltered(i, q, pred, sel)
+			if err != nil {
+				yield(Sample{}, err)
+				return
+			}
+			if stats != nil {
+				total, err := r.ds.RecordSamples(i)
+				if err != nil {
+					yield(Sample{}, err)
+					return
+				}
+				stats.addSamples(int64(len(samples)), int64(total-len(samples)))
+				stats.addBytes(bytesRead, bytesAvoided)
 			}
 			for _, s := range samples {
 				if !yield(s, nil) {

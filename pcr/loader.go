@@ -51,6 +51,14 @@ type EpochStats struct {
 	Probes     int
 	ProbeBytes int64
 	ProbeWall  time.Duration
+	// SkippedImages counts samples the WithLoaderFilter predicate rejected
+	// (not delivered, not counted in Images); zero without a filter.
+	SkippedImages int
+	// BytesAvoided is the record bytes the filter's read plan did not
+	// fetch: whole records skipped via the side index plus the unselected
+	// slices of sparse reads. BytesRead + BytesAvoided is what an
+	// unfiltered epoch at the same qualities would have covered.
+	BytesAvoided int64
 }
 
 // Checkpoint is a Loader position: everything needed for a restarted
@@ -94,6 +102,7 @@ type Loader struct {
 	seed    int64
 	policy  QualityPolicy
 	dropRem bool
+	filter  Predicate
 
 	records []int // this shard's record indices in storage order
 
@@ -123,6 +132,7 @@ type loaderConfig struct {
 	seed      int64
 	policy    QualityPolicy
 	dropRem   bool
+	filter    Predicate
 	resume    Checkpoint
 	hasResume bool
 }
@@ -229,6 +239,24 @@ func WithResume(cp Checkpoint) LoaderOption {
 	}
 }
 
+// WithLoaderFilter restricts every epoch to the samples the predicate
+// selects (see WithFilter): records with no matching sample are skipped
+// without a read, and — without cache tiers — partially matching records
+// are fetched as sparse ranges covering only the selected samples. Batches,
+// shuffling, and checkpoints count only selected samples; EpochStats
+// reports what the filter skipped and saved. Out-of-band ProbeBatches
+// reads stay unfiltered (probes measure the quality trade-off, not the
+// subset).
+func WithLoaderFilter(pred Predicate) LoaderOption {
+	return func(c *loaderConfig) error {
+		if pred == nil {
+			return fmt.Errorf("pcr: WithLoaderFilter: nil predicate")
+		}
+		c.filter = pred
+		return nil
+	}
+}
+
 // WithDropRemainder drops an epoch's final short batch instead of yielding
 // it (fixed-shape training steps).
 func WithDropRemainder() LoaderOption {
@@ -251,6 +279,11 @@ func NewLoader(ds *Dataset, opts ...LoaderOption) (*Loader, error) {
 			return nil, err
 		}
 	}
+	if cfg.filter != nil {
+		if _, ok := ds.r.(filteredRecordReader); !ok {
+			return nil, fmt.Errorf("pcr: loader filter on %s format: %w", ds.cfg.format.Name(), errors.ErrUnsupported)
+		}
+	}
 	if ds.cfg.indexShards > 0 && cfg.shards > 1 {
 		return nil, fmt.Errorf("pcr: dataset opened with WithIndexShard(%d,%d) is already one shard; drop the loader's WithShard",
 			ds.cfg.indexShard, ds.cfg.indexShards)
@@ -264,6 +297,7 @@ func NewLoader(ds *Dataset, opts ...LoaderOption) (*Loader, error) {
 		seed:      cfg.seed,
 		policy:    cfg.policy,
 		dropRem:   cfg.dropRem,
+		filter:    cfg.filter,
 		resume:    cfg.resume,
 		hasResume: cfg.hasResume,
 	}
@@ -353,15 +387,57 @@ func (l *Loader) Epoch(ctx context.Context, epoch int) iter.Seq2[Batch, error] {
 		}
 		skip := base * l.batch // samples to skip
 
+		// Filter accounting lives in producer-local variables; the consumer
+		// reads them only after the jobs channel closes (the close
+		// happens-after every producer write), so no lock is needed.
+		var fSkipped int
+		var fAvoided int64
+		var fr filteredRecordReader
+		if l.filter != nil {
+			fr = l.ds.r.(filteredRecordReader) // checked in NewLoader
+		}
+
 		jobs := decodePool(ictx, workers, func(emit func(*decodeJob) bool) {
 			for _, rec := range l.epochOrder(epoch) {
-				if skip > 0 {
-					n, err := l.ds.RecordImages(rec)
-					if err != nil {
-						emit(&decodeJob{err: err})
-						return
+				// With a filter and a side index, the selection is known
+				// before any read: zero-selected records are skipped
+				// outright, and the resume skip-shortcut counts selected
+				// samples instead of all samples. nsel < 0 means the
+				// selection is unknown (dataset predates the side index);
+				// the record is then read in full and filtered post-read.
+				var sel []bool
+				nsel := -1
+				if l.filter != nil {
+					var known bool
+					sel, nsel, known = fr.selection(rec, l.filter)
+					if !known {
+						sel, nsel = nil, -1
+					} else if nsel == 0 {
+						n, err := l.ds.RecordImages(rec)
+						var avoided int64
+						if err == nil {
+							avoided, err = l.ds.RecordPrefixLen(rec, l.policy.RecordQuality(epoch, rec))
+						}
+						if err != nil {
+							emit(&decodeJob{err: err})
+							return
+						}
+						fSkipped += n
+						fAvoided += avoided
+						continue
 					}
-					if skip >= n {
+				}
+				if skip > 0 {
+					n := nsel
+					if l.filter == nil {
+						var err error
+						n, err = l.ds.RecordImages(rec)
+						if err != nil {
+							emit(&decodeJob{err: err})
+							return
+						}
+					}
+					if n >= 0 && skip >= n {
 						skip -= n
 						continue
 					}
@@ -374,16 +450,36 @@ func (l *Loader) Epoch(ctx context.Context, epoch int) iter.Seq2[Batch, error] {
 					}
 				}
 				var bytes int64
-				if err == nil {
-					bytes, err = l.ds.RecordPrefixLen(rec, q)
-				}
 				var samples []Sample
-				if err == nil {
-					samples, err = l.ds.ReadRecordEncoded(rec, q)
+				if l.filter != nil {
+					var avoided int64
+					if err == nil {
+						samples, bytes, avoided, err = fr.readRecordFiltered(rec, qq, l.filter, sel)
+					}
+					var total int
+					if err == nil {
+						total, err = l.ds.RecordImages(rec)
+					}
+					if err == nil {
+						fSkipped += total - len(samples)
+						fAvoided += avoided
+					}
+				} else if err == nil {
+					bytes, err = l.ds.RecordPrefixLen(rec, q)
+					if err == nil {
+						samples, err = l.ds.ReadRecordEncoded(rec, q)
+					}
 				}
 				if err != nil {
 					emit(&decodeJob{err: err})
 					return
+				}
+				if skip >= len(samples) && (skip > 0 || len(samples) == 0) {
+					// Only reachable when the selection was unknown before
+					// the read (or nothing survived the filter): consume the
+					// record against the resume prefix without emitting.
+					skip -= len(samples)
+					continue
 				}
 				first := true
 				for si := skip; si < len(samples); si++ {
@@ -480,6 +576,8 @@ func (l *Loader) Epoch(ctx context.Context, epoch int) iter.Seq2[Batch, error] {
 		}
 		stats.Wall = time.Since(start)
 		stats.Stall = stall
+		stats.SkippedImages = fSkipped
+		stats.BytesAvoided = fAvoided
 		if s := stats.Wall.Seconds(); s > 0 {
 			stats.ImagesPerSec = float64(stats.Images) / s
 		}

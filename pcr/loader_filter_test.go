@@ -1,0 +1,184 @@
+package pcr_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/pcr"
+)
+
+// TestLoaderFilterDelivery: a filtered epoch is the unfiltered epoch with
+// the predicate applied — same shuffled record order, selected samples
+// only, byte-identical streams — and the stats account every sample and
+// every byte of the difference.
+func TestLoaderFilterDelivery(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(8), pcr.WithScanGroups(4))
+	pred, err := pcr.ParseFilter("label IN (0, 1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	epochOf := func(opts ...pcr.LoaderOption) ([]pcr.Sample, pcr.EpochStats) {
+		t.Helper()
+		ds, err := pcr.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ds.Close()
+		l, err := pcr.NewLoader(ds, append([]pcr.LoaderOption{
+			pcr.WithBatchSize(4), pcr.WithLoaderSeed(11)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []pcr.Sample
+		for b, err := range l.Epoch(ctx, 0) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b.Samples...)
+		}
+		st, ok := l.LastEpochStats()
+		if !ok {
+			t.Fatal("no epoch stats")
+		}
+		return out, st
+	}
+
+	all, allStats := epochOf()
+	got, st := epochOf(pcr.WithLoaderFilter(pred))
+
+	var want []pcr.Sample
+	for _, s := range all {
+		if pred.Matches(s.ID, s.Label) {
+			want = append(want, s)
+		}
+	}
+	if len(want) == 0 || len(want) == len(all) {
+		t.Fatalf("degenerate selection %d/%d; pick a different predicate", len(want), len(all))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("filtered epoch delivered %d samples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Label != want[i].Label {
+			t.Fatalf("sample %d is (%d,%d), want (%d,%d)", i, got[i].ID, got[i].Label, want[i].ID, want[i].Label)
+		}
+		if !bytes.Equal(got[i].JPEG, want[i].JPEG) {
+			t.Fatalf("sample %d stream differs from the unfiltered epoch's", i)
+		}
+	}
+	if st.Images != len(want) || st.SkippedImages != len(all)-len(want) {
+		t.Fatalf("stats: %d images + %d skipped, want %d + %d",
+			st.Images, st.SkippedImages, len(want), len(all)-len(want))
+	}
+	if st.BytesRead+st.BytesAvoided != allStats.BytesRead {
+		t.Fatalf("read %d + avoided %d != unfiltered epoch's %d",
+			st.BytesRead, st.BytesAvoided, allStats.BytesRead)
+	}
+	if st.BytesRead >= allStats.BytesRead {
+		t.Fatalf("filtered epoch read %d bytes, unfiltered read %d", st.BytesRead, allStats.BytesRead)
+	}
+	if allStats.SkippedImages != 0 || allStats.BytesAvoided != 0 {
+		t.Fatalf("unfiltered epoch reports filter stats: %+v", allStats)
+	}
+}
+
+// TestLoaderFilterResume: a checkpoint taken mid-epoch under a filter
+// resumes to exactly the uninterrupted epoch's remaining batches — the
+// skip-shortcut counts selected samples, not record sizes.
+func TestLoaderFilterResume(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(8), pcr.WithScanGroups(4))
+	pred, err := pcr.ParseFilter("label IN (0, 1, 2) OR id IN [10..20]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	open := func() (*pcr.Dataset, func()) {
+		t.Helper()
+		ds, err := pcr.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds, func() { ds.Close() }
+	}
+
+	// Uninterrupted filtered epoch: the reference batch sequence.
+	ds1, close1 := open()
+	defer close1()
+	l1, err := pcr.NewLoader(ds1, pcr.WithBatchSize(3), pcr.WithLoaderSeed(5), pcr.WithLoaderFilter(pred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full [][]pcr.Sample
+	for b, err := range l1.Epoch(ctx, 1) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		full = append(full, b.Samples)
+	}
+	if len(full) < 3 {
+		t.Fatalf("only %d filtered batches; dataset too small for a resume test", len(full))
+	}
+
+	// Interrupted run: crash after two batches, checkpoint in hand.
+	ds2, close2 := open()
+	defer close2()
+	l2, err := pcr.NewLoader(ds2, pcr.WithBatchSize(3), pcr.WithLoaderSeed(5), pcr.WithLoaderFilter(pred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp pcr.Checkpoint
+	n := 0
+	for _, err := range l2.Epoch(ctx, 1) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, _ = l2.Checkpoint()
+		if n++; n == 2 {
+			break
+		}
+	}
+
+	// Restarted worker: same filter, resume coordinates.
+	ds3, close3 := open()
+	defer close3()
+	l3, err := pcr.NewLoader(ds3, pcr.WithResume(cp), pcr.WithLoaderFilter(pred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail [][]pcr.Sample
+	for b, err := range l3.Epoch(ctx, cp.Epoch) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, b.Samples)
+	}
+	want := full[2:]
+	if len(tail) != len(want) {
+		t.Fatalf("resumed run delivered %d batches, want %d", len(tail), len(want))
+	}
+	for i := range tail {
+		if len(tail[i]) != len(want[i]) {
+			t.Fatalf("batch %d has %d samples, want %d", i, len(tail[i]), len(want[i]))
+		}
+		for j := range tail[i] {
+			if tail[i][j].ID != want[i][j].ID || !bytes.Equal(tail[i][j].JPEG, want[i][j].JPEG) {
+				t.Fatalf("batch %d sample %d differs after resume", i, j)
+			}
+		}
+	}
+}
+
+func TestWithLoaderFilterValidation(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(8))
+	ds, err := pcr.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, err := pcr.NewLoader(ds, pcr.WithLoaderFilter(nil)); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+}
