@@ -1,0 +1,98 @@
+// Pcrlint is the repo's static-analysis gate: a multichecker running the
+// four invariant analyzers under internal/lint — sentinelwrap (error
+// identity across the pcr facade), ctxloop (cancellation in I/O loops),
+// varzpublish (counters must surface on /varz), and bodycloseretry
+// (HTTP bodies drained and closed around retry loops) — plus, by
+// default, the toolchain's own `go vet` suite over the same patterns.
+//
+// Usage:
+//
+//	go run ./cmd/pcrlint ./...
+//	go run ./cmd/pcrlint -vet=false ./pcr ./internal/serve
+//
+// Findings print as file:line:col: [analyzer] message and make the exit
+// status non-zero; a finding that is a deliberate exception is
+// acknowledged in the source with `//lint:ignore <analyzer> <reason>`.
+// CI runs pcrlint as a blocking job (see .github/workflows/ci.yml).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/bodycloseretry"
+	"repro/internal/lint/ctxloop"
+	"repro/internal/lint/load"
+	"repro/internal/lint/sentinelwrap"
+	"repro/internal/lint/varzpublish"
+)
+
+// analyzers is the repo's invariant suite, in the order findings print.
+var analyzers = []*analysis.Analyzer{
+	sentinelwrap.Analyzer,
+	ctxloop.Analyzer,
+	varzpublish.Analyzer,
+	bodycloseretry.Analyzer,
+}
+
+func main() {
+	vet := flag.Bool("vet", true, "also run the toolchain's `go vet` over the same patterns")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pcrlint [-vet=false] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repo's invariant analyzers (plus go vet) over the packages.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(patterns, *vet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcrlint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "pcrlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string, vet bool) (findings int, err error) {
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		return 0, err
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				return findings, err
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+				findings++
+			}
+		}
+	}
+	if vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			// vet's own findings already printed; fold them into ours.
+			findings++
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kvstore"
+)
+
+// A corrupt metadata database is structural damage to the dataset:
+// OpenDataset must report it as core.ErrCorrupt (the facade contract),
+// not leak kvstore's private sentinel unwrapped.
+func TestOpenDatasetCorruptMetadata(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateDataset(dir, &DatasetOptions{ImagesPerRecord: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range buildSamples(t, 8) {
+		if err := w.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seal the writer's segment by opening and closing the store once:
+	// that creates a successor segment, so the damage below lands in a
+	// non-final segment, where replay must fail rather than apply the
+	// final-segment torn-tail (crash recovery) truncation.
+	db, err := kvstore.Open(filepath.Join(dir, "meta"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the first record of the first metadata segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "meta", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no metadata segments found: %v", err)
+	}
+	seg := segs[0]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 32 {
+		t.Fatalf("segment unexpectedly small: %d bytes", len(data))
+	}
+	data[20] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenDataset(dir)
+	if err == nil {
+		t.Fatal("OpenDataset succeeded on a corrupt metadata database")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenDataset error %v is not core.ErrCorrupt", err)
+	}
+	// The kvstore detail stays reachable for diagnostics.
+	if !errors.Is(err, kvstore.ErrCorrupt) {
+		t.Fatalf("OpenDataset error %v lost the kvstore cause", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"image"
 	"os"
@@ -9,6 +10,18 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/wire"
 )
+
+// mapKVErr lifts kvstore's private error namespace onto the facade's:
+// a corrupt metadata database is structural damage to the dataset, so
+// callers' errors.Is(err, ErrCorrupt) dispatch must see it as such.
+// kvstore itself keeps its own sentinel (it predates — and must not
+// import — this package); this boundary is where the two meet.
+func mapKVErr(err error) error {
+	if errors.Is(err, kvstore.ErrCorrupt) {
+		return fmt.Errorf("core: %w: metadata database: %w", ErrCorrupt, err)
+	}
+	return err
+}
 
 // DatasetOptions configure dataset creation.
 type DatasetOptions struct {
@@ -53,7 +66,7 @@ func CreateDataset(dir string, opts *DatasetOptions) (*DatasetWriter, error) {
 	}
 	db, err := kvstore.Open(filepath.Join(dir, "meta"), nil)
 	if err != nil {
-		return nil, err
+		return nil, mapKVErr(err)
 	}
 	var o DatasetOptions
 	if opts != nil {
@@ -189,13 +202,13 @@ type recordEntry struct {
 func OpenDataset(dir string) (*Dataset, error) {
 	db, err := kvstore.Open(filepath.Join(dir, "meta"), nil)
 	if err != nil {
-		return nil, err
+		return nil, mapKVErr(err)
 	}
 	ds := &Dataset{backend: NewDirBackend(dir), db: db}
 	raw, err := db.Get([]byte("dataset"))
 	if err != nil {
 		db.Close()
-		return nil, fmt.Errorf("core: dataset metadata missing: %w", err)
+		return nil, fmt.Errorf("core: dataset metadata missing: %w", mapKVErr(err))
 	}
 	d := wire.NewDecoder(raw)
 	for !d.Done() {
@@ -231,7 +244,7 @@ func OpenDataset(dir string) (*Dataset, error) {
 		raw, err := db.Get([]byte(fmt.Sprintf("record/%05d", i)))
 		if err != nil {
 			db.Close()
-			return nil, fmt.Errorf("core: record %d metadata: %w", i, err)
+			return nil, fmt.Errorf("core: record %d metadata: %w", i, mapKVErr(err))
 		}
 		re, err := parseRecordEntry(raw)
 		if err != nil {

@@ -61,7 +61,7 @@ func EncodeIndex(ix *Index) ([]byte, error) {
 func ParseIndex(data []byte) (*Index, error) {
 	var ix Index
 	if err := json.Unmarshal(data, &ix); err != nil {
-		return nil, fmt.Errorf("core: %w: parsing index: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("core: %w: parsing index: %w", ErrCorrupt, err)
 	}
 	for i, re := range ix.Records {
 		if re.Name == "" || len(re.Prefixes) == 0 {

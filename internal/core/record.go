@@ -249,7 +249,7 @@ func ParseRecordMeta(data []byte) (*RecordMeta, error) {
 	// Any wire-level decode failure inside the metadata section is
 	// structural damage, so the whole parse reports as ErrCorrupt.
 	if err := parseRecordFields(data[8:8+metaLen], m); err != nil {
-		return nil, fmt.Errorf("core: %w: metadata: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("core: %w: metadata: %w", ErrCorrupt, err)
 	}
 	if m.NumGroups <= 0 {
 		return nil, fmt.Errorf("core: %w: record has no scan groups", ErrCorrupt)

@@ -27,6 +27,8 @@ import (
 var ErrNotFound = errors.New("kvstore: key not found")
 
 // ErrCorrupt is returned when a non-tail record fails its checksum.
+//
+//lint:ignore sentinelwrap kvstore predates and must not import the core facade; core.mapKVErr wraps this into core.ErrCorrupt at the boundary
 var ErrCorrupt = errors.New("kvstore: corrupt segment")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

@@ -1,0 +1,155 @@
+// Package analysis is the minimal analyzer framework pcrlint is built on.
+//
+// It deliberately mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer is a named check with a Run function over a Pass carrying
+// one type-checked package — so the repo's custom passes read like
+// standard vet passes and could be ported onto the upstream framework
+// mechanically. It is self-contained on the standard library because the
+// invariants it enforces (see the analyzers under internal/lint/...) are
+// part of this repo's build and must check out of a clean checkout with
+// nothing but the Go toolchain.
+//
+// Suppression: a finding can be acknowledged in place with a directive
+// comment on the reported line or the line directly above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory — an unexplained opt-out is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check: a name findings are reported (and
+// suppressed) under, a short doc string, and the Run function applied to
+// each package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:ignore Name reason" directives. It must look like a Go
+	// identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces and why the repo needs it.
+	Doc string
+	// Run reports the analyzer's findings for one package via
+	// pass.Report/Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed sources, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records the type and object resolution of Files.
+	TypesInfo *types.Info
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, message string) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Analyzer: p.analyzer.Name, Message: message})
+}
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// TypeOf returns the type of expression e, or nil if not recorded.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by identifier id, consulting both
+// definitions and uses.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Run applies one analyzer to one package and returns its findings with
+// "//lint:ignore" suppressions already filtered out, sorted by position.
+// Analyzer errors (not findings) abort the run.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		analyzer:  a,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	diags := suppress(a.Name, fset, files, pass.diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// ignoreDirective is the prefix of a suppression comment.
+const ignoreDirective = "lint:ignore"
+
+// suppress drops diagnostics acknowledged by a "//lint:ignore <name>
+// <reason>" directive on the same line or the line directly above.
+func suppress(name string, fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	// file → set of lines a directive for this analyzer covers.
+	covered := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				// Directive must name this analyzer (or "all") and carry a
+				// reason; a bare name suppresses nothing.
+				if len(fields) < 2 || (fields[0] != name && fields[0] != "all") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := covered[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					covered[pos.Filename] = m
+				}
+				// The directive covers its own line (end-of-line form) and
+				// the next line (line-above form).
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if covered[pos.Filename][pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,12 @@
+package bodycloseretry_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/bodycloseretry"
+	"repro/internal/lint/linttest"
+)
+
+func TestBodycloseretry(t *testing.T) {
+	linttest.Run(t, bodycloseretry.Analyzer, "testdata/src/httpfix")
+}

@@ -1,0 +1,55 @@
+package httpfix
+
+import (
+	"errors"
+	"io"
+	"net/http"
+)
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func retry(urls []string) ([]byte, error) {
+	for _, u := range urls {
+		resp, err := http.Get(u)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			drain(resp.Body)
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		return b, nil
+	}
+	return nil, errors.New("all attempts failed")
+}
+
+// handOff returns the response: the caller owns the body now.
+func handOff(url string) (*http.Response, error) {
+	return http.Get(url)
+}
+
+func handOffVar(url string) (*http.Response, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// drain consumes and closes a body so its connection can be reused.
+func drain(body io.ReadCloser) {
+	io.Copy(io.Discard, body)
+	body.Close()
+}

@@ -1,0 +1,18 @@
+package httpfix
+
+import "net/http"
+
+var last *http.Response
+
+// keepOpen parks the response for a caller that streams its body later;
+// a shutdown hook (not shown) closes it. The analyzer cannot see that
+// ownership transfer, so the acquisition carries a directive.
+func keepOpen(url string) error {
+	//lint:ignore bodycloseretry body is parked in a registry the caller streams from; closed on shutdown
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	last = resp
+	return nil
+}

@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxloop"
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxloop(t *testing.T) {
+	linttest.Run(t, ctxloop.Analyzer, "testdata/src/ctxfix")
+}

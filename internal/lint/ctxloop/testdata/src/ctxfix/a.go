@@ -1,0 +1,36 @@
+package ctxfix
+
+import (
+	"context"
+	"net/http"
+)
+
+// Backend mirrors the repo's core.Backend: its methods are blocking I/O.
+type Backend interface {
+	Open(name string) ([]byte, error)
+}
+
+func readAll(ctx context.Context, b Backend, names []string) error {
+	for _, name := range names { // want `no iteration checks`
+		if _, err := b.Open(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pump(ctx context.Context, work chan<- string, names []string) {
+	for _, name := range names { // want `no iteration checks`
+		work <- name
+	}
+}
+
+func poll(ctx context.Context, hc *http.Client, url string) error {
+	for { // want `no iteration checks`
+		resp, err := hc.Get(url)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,55 @@
+package ctxfix
+
+import "context"
+
+// checked observes ctx.Err() every iteration.
+func checked(ctx context.Context, b Backend, names []string) error {
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := b.Open(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// delegated hands ctx to the callee each iteration; the callee owns
+// cancellation then.
+func delegated(ctx context.Context, names []string) error {
+	for _, name := range names {
+		if err := openCtx(ctx, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func openCtx(ctx context.Context, name string) error { return ctx.Err() }
+
+// noContext has no context in scope, so there is nothing to check: the
+// caller bounds the loop some other way (e.g. client timeouts).
+func noContext(b Backend, names []string) error {
+	for _, name := range names {
+		if _, err := b.Open(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selected pairs the channel receive with ctx.Done in a select.
+func selected(ctx context.Context, in <-chan string) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case name, ok := <-in:
+			if !ok {
+				return
+			}
+			_ = name
+		}
+	}
+}

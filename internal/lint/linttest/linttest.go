@@ -1,0 +1,156 @@
+// Package linttest runs an analyzer over a fixture package and checks
+// its findings against expectations written in the fixture itself — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, on which
+// its fixture syntax is modeled:
+//
+//	resp.Body.Close() // want `closed without draining`
+//
+// Each `// want` comment carries one or more backquoted or quoted regular
+// expressions; every reported diagnostic must match a want on its line,
+// and every want must be matched by a diagnostic. A fixture line that
+// carries a //lint:ignore directive and no want therefore asserts the
+// suppression path: the analyzer would fire there, and the directive
+// silences it.
+//
+// Fixtures live under testdata/src/<pkg>/ beside each analyzer — inside
+// testdata so the surrounding module's builds, vets, and lints never see
+// their deliberate violations — and may import only the standard library.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run applies the analyzer to the fixture package in dir (conventionally
+// "testdata/src/<name>", relative to the test) and reports any mismatch
+// between its diagnostics and the fixture's `// want` expectations as
+// test failures.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	diags, fset, err := analyze(a, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := posKey{filepath.Base(pos.Filename), pos.Line}
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, re)
+			}
+		}
+	}
+}
+
+// analyze loads the fixture package in dir and runs the analyzer on it.
+func analyze(a *analysis.Analyzer, dir string) ([]analysis.Diagnostic, *token.FileSet, error) {
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports, err := load.StdExports()
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	pkg, err := load.Check(fset, filepath.Base(dir), names, load.ExportImporter(fset, exports))
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := analysis.Run(a, fset, pkg.Files, pkg.Types, pkg.Info)
+	return diags, fset, err
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("linttest: no fixture .go files in %s", dir)
+	}
+	return names, nil
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// wantSet maps a fixture line to its expected-diagnostic patterns;
+// matched patterns are nilled out so each want satisfies one diagnostic.
+type wantSet map[posKey][]*regexp.Regexp
+
+func (w wantSet) match(key posKey, message string) bool {
+	for i, re := range w[key] {
+		if re != nil && re.MatchString(message) {
+			w[key][i] = nil
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the patterns of one `// want` comment: backquoted or
+// double-quoted strings after the marker.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// collectWants scans fixture sources line by line for `// want`
+// expectations. Textual (not AST) scanning keeps column information out
+// of the contract: a want covers its whole line, like analysistest.
+func collectWants(dir string) (wantSet, error) {
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	wants := make(wantSet)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, spec, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			key := posKey{filepath.Base(name), i + 1}
+			for _, m := range wantRE.FindAllStringSubmatch(spec, -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", name, i+1, pat, err)
+				}
+				wants[key] = append(wants[key], re)
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,187 @@
+// Package load type-checks Go packages for pcrlint without importing the
+// build system's internals: it asks the toolchain for the package graph
+// and compiled export data (`go list -deps -export`) and feeds the export
+// files to the standard gc importer, so each target package parses and
+// type-checks from source against the exact dependencies the real build
+// uses. This keeps the linter's view of the code byte-identical to the
+// compiler's and works offline from a clean checkout.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// A Package is one parsed, type-checked target package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset maps the package's token positions; shared across one Load.
+	Fset *token.FileSet
+	// Files are the parsed sources (comments included), production
+	// .go files only — testdata and _test.go files are the fixtures and
+	// harnesses of the checks, not their subject.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info is the package's type and object resolution.
+	Info *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+const listFields = "-json=ImportPath,Dir,Export,GoFiles,Standard"
+
+// Load type-checks the packages matching patterns (e.g. "./...")
+// relative to dir and returns them in `go list` order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One walk of the dependency graph yields export data for every
+	// dependency (standard library included); a second, -deps-less list
+	// distinguishes the target packages from their dependencies.
+	deps, err := goList(dir, append([]string{"list", "-deps", "-export", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, e := range deps {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	targets, err := goList(dir, append([]string{"list", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, gf := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, gf)
+		}
+		pkg, err := Check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Path, pkg.Dir = t.ImportPath, t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer resolving import paths through
+// the given path→export-file map (as produced by `go list -export`).
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Check parses and type-checks one package from the given source files.
+func Check(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+var (
+	stdOnce    sync.Once
+	stdExports map[string]string
+	stdErr     error
+)
+
+// StdExports returns export data for the whole standard library,
+// computed once per process (fixture packages import only the standard
+// library, so this is all a fixture type-check needs).
+func StdExports() (map[string]string, error) {
+	stdOnce.Do(func() {
+		entries, err := goList(".", "list", "-export", listFields, "std")
+		if err != nil {
+			stdErr = err
+			return
+		}
+		stdExports = make(map[string]string, len(entries))
+		for _, e := range entries {
+			if e.Export != "" {
+				stdExports[e.ImportPath] = e.Export
+			}
+		}
+	})
+	return stdExports, stdErr
+}

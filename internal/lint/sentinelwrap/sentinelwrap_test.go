@@ -1,0 +1,12 @@
+package sentinelwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/sentinelwrap"
+)
+
+func TestSentinelwrap(t *testing.T) {
+	linttest.Run(t, sentinelwrap.Analyzer, "testdata/src/pcr")
+}

@@ -1,0 +1,31 @@
+package pcr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is this package's own sentinel: the home package may mint it
+// fresh.
+var ErrClosed = errors.New("pcr: closed")
+
+// ErrCorrupt belongs to the core package; re-minting it here creates an
+// error the facade's errors.Is contract can never match.
+var ErrCorrupt = errors.New("pcr: corrupt") // want `shadows the facade sentinel`
+
+func scan(name string) error {
+	if name == "" {
+		return errors.New("pcr: empty name") // want `inline errors.New`
+	}
+	if err := open(name); err != nil {
+		return fmt.Errorf("pcr: scanning %s: %v", name, err) // want `severs the unwrap chain`
+	}
+	return nil
+}
+
+func open(name string) error {
+	if name == "missing" {
+		return ErrClosed
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package pcr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoSuchQuality is the facade's own sentinel, minted in its home
+// package.
+var ErrNoSuchQuality = errors.New("pcr: no such quality")
+
+// errInternal is a private sentinel: package-level, matchable, fine.
+var errInternal = errors.New("pcr: internal")
+
+func load(q int) error {
+	if q < 0 {
+		return fmt.Errorf("pcr: quality %d: %w", q, ErrNoSuchQuality)
+	}
+	if q > 100 {
+		return fmt.Errorf("pcr: quality %d: %w", q, errInternal)
+	}
+	return nil
+}

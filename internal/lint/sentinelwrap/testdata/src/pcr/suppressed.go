@@ -1,0 +1,15 @@
+package pcr
+
+import "errors"
+
+// compat returns the pre-facade error message verbatim: callers of the
+// original release matched it by string, and the wire protocol froze it.
+// The directive acknowledges the finding instead of silencing the
+// analyzer globally.
+func compat(ok bool) error {
+	if ok {
+		return nil
+	}
+	//lint:ignore sentinelwrap pre-facade message preserved verbatim for wire compatibility
+	return errors.New("pcr: legacy failure")
+}

@@ -1,0 +1,40 @@
+package servefix
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+type counters struct {
+	served  atomic.Int64
+	dropped atomic.Int64 // want `incremented but never loaded`
+}
+
+func (c *counters) hit() {
+	c.served.Add(1)
+	c.dropped.Add(1)
+}
+
+func (c *counters) snapshot() int64 { return c.served.Load() }
+
+type legacy struct {
+	misses int64 // want `atomically written but never read`
+	hits   int64
+}
+
+func (l *legacy) bump() {
+	atomic.AddInt64(&l.misses, 1)
+	atomic.AddInt64(&l.hits, 1)
+}
+
+func (l *legacy) total() int64 { return atomic.LoadInt64(&l.hits) }
+
+type stats struct {
+	BytesServed int64 `json:"bytes_served"`
+	CacheHits   int64 `json:"cacheHits"` // want `not snake_case`
+}
+
+func publish() {
+	expvar.NewInt("pcr_requests")
+	expvar.NewInt("pcrRequests") // want `not snake_case`
+}

@@ -1,0 +1,37 @@
+package servefix
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+type cleanCounters struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+func (c *cleanCounters) observe(failed bool) {
+	c.requests.Add(1)
+	if failed {
+		c.errors.Add(1)
+	}
+}
+
+// Stats is the /varz snapshot: every counter is loaded, every tag is
+// snake_case.
+type Stats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors_total"`
+	Internal int64 `json:"-"`
+}
+
+func (c *cleanCounters) stats() Stats {
+	return Stats{
+		Requests: c.requests.Load(),
+		Errors:   c.errors.Load(),
+	}
+}
+
+func publishClean() {
+	expvar.NewInt("pcr_bytes_served")
+}

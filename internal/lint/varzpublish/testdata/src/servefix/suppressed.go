@@ -1,0 +1,10 @@
+package servefix
+
+import "sync/atomic"
+
+type scratchpad struct {
+	//lint:ignore varzpublish scratch counter consumed by the test harness via unsafe inspection
+	scratch atomic.Int64
+}
+
+func (s *scratchpad) poke() { s.scratch.Add(1) }

@@ -1,0 +1,246 @@
+// Package varzpublish enforces the repo's observability invariant: a
+// counter that exists must be visible.
+//
+// internal/serve's counters are sync/atomic integer fields snapshotted
+// into a Stats struct whose JSON is /varz (and, via cmd/pcrserved,
+// expvar). Three things have historically been easy to get wrong as
+// handlers accrete, and the analyzer checks each:
+//
+//   - a counter field that is incremented (.Add) somewhere but loaded
+//     (.Load) nowhere is dark telemetry: increments that no /varz
+//     snapshot will ever surface;
+//   - every `json:"..."` tag must name a snake_case key, the /varz
+//     wire convention every dashboard and e2e assertion in this repo
+//     greps for;
+//   - names handed to expvar (NewInt, Publish, ...) must be snake_case
+//     for the same reason.
+//
+// A counter that is deliberately internal-only is opted out with
+// `//lint:ignore varzpublish <why>`.
+package varzpublish
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "varzpublish",
+	Doc:  "atomic counter fields must have a Load (snapshot) site for every Add site; json tags and expvar names must be snake_case",
+	Run:  run,
+}
+
+var snakeRE = regexp.MustCompile(`^[a-z0-9_]+$`)
+
+// atomicCounterTypes are the sync/atomic wrapper types treated as
+// counters when used as struct fields.
+var atomicCounterTypes = []string{"Int32", "Int64", "Uint32", "Uint64"}
+
+func run(pass *analysis.Pass) error {
+	checkCounters(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				checkTags(pass, n)
+			case *ast.CallExpr:
+				checkExpvarName(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCounters flags counter fields with increment sites but no load
+// site in the package. Both field styles in use count: sync/atomic
+// wrapper types (x.field.Add / x.field.Load) and plain integers mutated
+// through the sync/atomic functions (atomic.AddInt64(&x.field, ...)).
+// For the latter, any read of the field outside an atomic.Add* call
+// counts as surfacing it.
+func checkCounters(pass *analysis.Pass) {
+	counters := make(map[*types.Var]token.Pos) // atomic-wrapper fields
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			for _, wrap := range atomicCounterTypes {
+				if lintutil.IsNamed(f.Type(), "sync/atomic", wrap) {
+					counters[f] = f.Pos()
+				}
+			}
+		}
+	}
+
+	added := make(map[*types.Var]bool)
+	loaded := make(map[*types.Var]bool)
+	legacyAdded := make(map[*types.Var]token.Pos) // plain fields via atomic.AddXxx
+	legacyRead := make(map[*types.Var]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// x.field.Add(...) / x.field.Load() on wrapper fields.
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					if fv, ok := pass.TypesInfo.Uses[inner.Sel].(*types.Var); ok {
+						if _, isCounter := counters[fv]; isCounter {
+							switch sel.Sel.Name {
+							case "Add", "Store", "Swap", "CompareAndSwap":
+								added[fv] = true
+							case "Load":
+								loaded[fv] = true
+							}
+						}
+					}
+				}
+			}
+			// atomic.AddInt64(&x.field, ...) / atomic.LoadInt64(&x.field).
+			if fn := lintutil.Callee(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync/atomic" && len(call.Args) > 0 {
+				if fv := addrField(pass, call.Args[0]); fv != nil {
+					if strings.HasPrefix(fn.Name(), "Add") || strings.HasPrefix(fn.Name(), "Store") {
+						legacyAdded[fv] = fv.Pos()
+					} else {
+						legacyRead[fv] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// A plain read of a legacy counter field anywhere (snapshotting,
+	// struct copy aside) counts as surfacing it.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, tracked := legacyAdded[fv]; tracked && !insideAtomicWrite(pass, f, sel) {
+				legacyRead[fv] = true
+			}
+			return true
+		})
+	}
+
+	for fv := range added {
+		if !loaded[fv] {
+			pass.Reportf(fv.Pos(),
+				"counter %s is incremented but never loaded: no /varz snapshot can surface it", fv.Name())
+		}
+	}
+	for fv, pos := range legacyAdded {
+		if !legacyRead[fv] {
+			pass.Reportf(pos,
+				"counter %s is atomically written but never read: no snapshot can surface it", fv.Name())
+		}
+	}
+}
+
+// addrField unwraps &x.field to the field's object.
+func addrField(pass *analysis.Pass, e ast.Expr) *types.Var {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fv, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !fv.IsField() {
+		return nil
+	}
+	return fv
+}
+
+// insideAtomicWrite reports whether the selector is the &x.field operand
+// of a sync/atomic write call (which must not count as a read).
+func insideAtomicWrite(pass *analysis.Pass, file *ast.File, target *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ast.Unparen(u.X) == target {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkTags flags non-snake_case json tag names.
+func checkTags(pass *analysis.Pass, st *ast.StructType) {
+	for _, f := range st.Fields.List {
+		if f.Tag == nil {
+			continue
+		}
+		raw, err := strconv.Unquote(f.Tag.Value)
+		if err != nil {
+			continue
+		}
+		name, _, _ := strings.Cut(reflect.StructTag(raw).Get("json"), ",")
+		if name == "" || name == "-" {
+			continue
+		}
+		if !snakeRE.MatchString(name) {
+			pass.Reportf(f.Tag.Pos(),
+				"json tag %q is not snake_case; /varz consumers key on snake_case names", name)
+		}
+	}
+}
+
+// checkExpvarName flags non-snake_case names registered with expvar.
+func checkExpvarName(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "expvar" || len(call.Args) == 0 {
+		return
+	}
+	switch fn.Name() {
+	case "NewInt", "NewFloat", "NewString", "NewMap", "Publish":
+	default:
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if name := constant.StringVal(tv.Value); !snakeRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"expvar name %q is not snake_case; /varz consumers key on snake_case names", name)
+	}
+}

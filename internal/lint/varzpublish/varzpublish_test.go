@@ -1,0 +1,12 @@
+package varzpublish_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/varzpublish"
+)
+
+func TestVarzpublish(t *testing.T) {
+	linttest.Run(t, varzpublish.Analyzer, "testdata/src/servefix")
+}

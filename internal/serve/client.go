@@ -32,6 +32,16 @@ func retryDelay(attempt int) time.Duration {
 	return d + time.Duration(rand.Int63n(int64(d)))
 }
 
+// drainClose consumes what remains of a response body (up to a small cap
+// — error bodies are short) and closes it, so the transport can return
+// the connection to the idle pool instead of tearing it down. Closing an
+// unread body kills the connection; in a retry loop that is a fresh TCP
+// and TLS handshake per attempt, exactly when the server is struggling.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 4<<10))
+	body.Close()
+}
+
 // retryableStatus reports whether a response status is worth retrying: the
 // transient server-side 5xx family. Client errors (404, 416) are
 // deterministic and fail immediately.
@@ -206,7 +216,7 @@ func (c *Client) openOnce(name string) (body io.ReadCloser, retryable bool, err 
 		return nil, true, fmt.Errorf("serve: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		resp.Body.Close()
+		drainClose(resp.Body)
 		if resp.StatusCode == http.StatusMisdirectedRequest {
 			return nil, true, &misdirectedError{name: name, owner: resp.Header.Get(ownerHeader)}
 		}

@@ -68,7 +68,7 @@ func decodeSampleBitmap(s string, n int) ([]bool, error) {
 	}
 	raw, err := base64.RawURLEncoding.DecodeString(s)
 	if err != nil {
-		return nil, fmt.Errorf("serve: samples bitmap is not base64url: %v", err)
+		return nil, fmt.Errorf("serve: samples bitmap is not base64url: %w", err)
 	}
 	if max := (n + 7) / 8; len(raw) > max {
 		return nil, fmt.Errorf("serve: samples bitmap has %d bytes, a %d-sample record needs at most %d", len(raw), n, max)

@@ -13,9 +13,11 @@ import (
 // bytes plannable); the baseline formats filter after the read and report
 // zero byte savings.
 //
-// The stats are written while the scan runs; read them after the scan's
-// iterator has been fully consumed (or has yielded an error). Reading them
-// while a Scan with prefetch workers is still mid-flight is racy.
+// The stats are written while the scan runs; read the fields directly
+// only after the scan's iterator has been fully consumed (or has yielded
+// an error). While a Scan with prefetch workers is still mid-flight the
+// plain fields are racy — use Snapshot, which loads them atomically, to
+// observe a scan in progress.
 type FilterStats struct {
 	// Selected and Skipped count samples for and against the predicate.
 	Selected int64
@@ -37,6 +39,21 @@ func (s *FilterStats) addSamples(selected, skipped int64) {
 func (s *FilterStats) addBytes(read, avoided int64) {
 	atomic.AddInt64(&s.BytesRead, read)
 	atomic.AddInt64(&s.BytesAvoided, avoided)
+}
+
+// Snapshot returns a consistent-enough copy of the stats, loading each
+// field atomically. It is the only safe way to observe a scan that is
+// still running: prefetch workers update the counters concurrently, and
+// a plain field read while they do so is a data race. Each field is
+// individually exact; the set may straddle an in-flight sample.
+func (s *FilterStats) Snapshot() FilterStats {
+	return FilterStats{
+		Selected:       atomic.LoadInt64(&s.Selected),
+		Skipped:        atomic.LoadInt64(&s.Skipped),
+		RecordsSkipped: atomic.LoadInt64(&s.RecordsSkipped),
+		BytesRead:      atomic.LoadInt64(&s.BytesRead),
+		BytesAvoided:   atomic.LoadInt64(&s.BytesAvoided),
+	}
 }
 
 // ScanOption configures one Scan or ScanEncoded call.

@@ -1,0 +1,70 @@
+package pcr_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/pcr"
+)
+
+// FilterStats.Snapshot is the documented way to observe a scan that is
+// still running: a second goroutine polls it for the whole duration of a
+// filtered scan while the scan's workers update the counters. Under
+// `go test -race` this fails if Snapshot (or the counter writes) ever
+// touch the fields non-atomically.
+func TestFilterStatsSnapshotDuringScan(t *testing.T) {
+	dir, _ := synthDir(t, pcr.WithImagesPerRecord(8))
+	ds, err := pcr.Open(dir, pcr.WithPrefetchWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	pred, err := pcr.ParseFilter("label IN (0, 1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fs pcr.FilterStats
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := fs.Snapshot()
+			// Monotone non-negativity is all a mid-flight snapshot
+			// promises per field.
+			if snap.Selected < 0 || snap.Skipped < 0 || snap.BytesRead < 0 {
+				t.Errorf("negative snapshot: %+v", snap)
+				return
+			}
+		}
+	}()
+
+	n := 0
+	for s, err := range ds.ScanEncoded(context.Background(), pcr.Full, pcr.WithFilter(pred), pcr.WithFilterStats(&fs)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pred.Matches(s.ID, s.Label) {
+			t.Fatalf("sample (%d,%d) escaped the filter", s.ID, s.Label)
+		}
+		n++
+	}
+	close(stop)
+	<-done
+
+	// With the scan fully consumed the snapshot and the plain fields must
+	// agree exactly.
+	snap := fs.Snapshot()
+	if snap != fs {
+		t.Fatalf("settled snapshot %+v != fields %+v", snap, fs)
+	}
+	if int(snap.Selected) != n {
+		t.Fatalf("snapshot says %d selected, scan delivered %d", snap.Selected, n)
+	}
+}

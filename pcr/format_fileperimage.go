@@ -58,7 +58,7 @@ func fpiEntries(dir string, backend core.Backend) ([]recordio.Entry, error) {
 		}
 		entries, err := recordio.ParseManifest(data)
 		if err != nil {
-			return nil, fmt.Errorf("pcr: %w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("pcr: %w: %w", ErrCorrupt, err)
 		}
 		return entries, nil
 	case !errors.Is(err, fs.ErrNotExist):

@@ -93,7 +93,7 @@ func (tfrecordFormat) open(dir string, cfg *config) (formatReader, error) {
 	}
 	r := &tfrecordReader{backend: backend}
 	if err := parseTFRecordMeta(raw, r); err != nil {
-		return nil, fmt.Errorf("pcr: %w: tfrecord metadata: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("pcr: %w: tfrecord metadata: %w", ErrCorrupt, err)
 	}
 	return r, nil
 }
@@ -178,7 +178,7 @@ func (r *tfrecordReader) scanEncoded(ctx context.Context, q int) iter.Seq2[Sampl
 func parseTFRecordFrame(frame []byte) (Sample, error) {
 	s, err := parseTFRecordFields(frame)
 	if err != nil {
-		return s, fmt.Errorf("pcr: %w: tfrecord frame: %v", ErrCorrupt, err)
+		return s, fmt.Errorf("pcr: %w: tfrecord frame: %w", ErrCorrupt, err)
 	}
 	return s, nil
 }
